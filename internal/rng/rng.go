@@ -1,0 +1,180 @@
+// Package rng provides the deterministic, high-throughput pseudo-random
+// number generators used throughout the BayesPerf reproduction.
+//
+// The BayesPerf accelerator (paper §5) relies on "high-throughput random
+// number generators" feeding its MCMC sampler pipelines. We model those with
+// xoshiro256**, a small-state generator with excellent statistical quality
+// and a few-ns step cost, seeded via splitmix64 so that any 64-bit seed
+// yields a well-mixed state. Every stochastic component in this repository
+// (workload generators, OS-noise injection, MCMC chains, RL exploration)
+// draws from an explicitly seeded *rng.Rand so experiments are reproducible
+// run-to-run.
+package rng
+
+import "math"
+
+// splitmix64 advances the splitmix64 state and returns the next value.
+// It is used only for seeding xoshiro256** state words.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+
+	// Cached second Gaussian from the last Box–Muller transform.
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a generator seeded from the given 64-bit seed. Distinct seeds
+// produce statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed, discarding any cached values.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	r.hasGauss = false
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continuation. It is used to hand child components their own streams (one
+// per MCMC sampler pipeline, one per workload, ...) without sharing state.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but
+	// modulo bias is negligible for the n used here and clarity wins.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// NormFloat64 returns a standard Gaussian variate via Box–Muller, caching
+// the second variate of each transform.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = r.Float64()
+	radius := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	r.gauss = radius * math.Sin(theta)
+	r.hasGauss = true
+	return radius * math.Cos(theta)
+}
+
+// Gaussian returns a Gaussian variate with the given mean and standard
+// deviation.
+func (r *Rand) Gaussian(mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean using Knuth's
+// method for small means and a Gaussian approximation for large ones (the
+// counts we model are large enough that the approximation is exact for all
+// practical purposes).
+func (r *Rand) Poisson(mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.Gaussian(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int64(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	var k int64
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

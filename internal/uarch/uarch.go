@@ -1,0 +1,301 @@
+// Package uarch defines the microarchitectural knowledge base that drives
+// BayesPerf: per-CPU event catalogs (fixed and programmable events together
+// with their counter-placement constraints), the library of algebraic
+// invariants between events (§3–§4 of the paper: "microarchitectural
+// invariants … can be composed, encoded as statistical relationships"), and
+// the derived-event formulas evaluated in §6.2.
+//
+// The catalogs model an Intel Skylake-like x86_64 core and an IBM
+// Power9-like ppc64 core. Event semantics are grounded in a common set of
+// machine primitives (see internal/machine), so the invariants declared here
+// hold exactly in the simulated ground truth, just as the vendor-documented
+// relations hold on real silicon.
+package uarch
+
+import (
+	"fmt"
+	"math"
+)
+
+// EventID indexes an event within one catalog. IDs are dense from 0.
+type EventID int
+
+// InvalidEvent is the sentinel for "no event".
+const InvalidEvent EventID = -1
+
+// Event describes one countable architectural or microarchitectural event.
+type Event struct {
+	ID    EventID
+	Name  string
+	Fixed bool // counted on a dedicated fixed counter, never multiplexed
+	// FixedIndex is the fixed-counter slot for fixed events (0-based).
+	FixedIndex int
+	// CounterMask is the bitmask of programmable counters able to count the
+	// event (bit i set ⇒ counter c_i can host it). Ignored for fixed events.
+	// This models constraints like "L1D_PEND_MISS.PENDING can be only
+	// counted on the third HPC on Haswell/Broadwell systems" (§4).
+	CounterMask uint
+	// NeedsMSR marks off-core-response style events that consume one of the
+	// PMU's auxiliary MSRs in addition to a counter ("an Intel off-core
+	// response event requires one HPC and one MSR register", §4).
+	NeedsMSR bool
+	Desc     string
+}
+
+// Term is one addend of a linear invariant: Coeff · value(Event).
+type Term struct {
+	Event EventID
+	Coeff float64
+}
+
+// Relation is a linear microarchitectural invariant Σᵢ Coeffᵢ·eᵢ ≈ 0.
+// RelTol expresses how exactly it holds as a fraction of the relation's
+// magnitude; it becomes the factor noise scale in the factor graph.
+type Relation struct {
+	Name   string
+	Terms  []Term
+	RelTol float64
+	Desc   string
+}
+
+// Residual evaluates Σᵢ Coeffᵢ·vals[eᵢ] for the relation.
+func (r Relation) Residual(vals []float64) float64 {
+	var s float64
+	for _, t := range r.Terms {
+		s += t.Coeff * vals[t.Event]
+	}
+	return s
+}
+
+// Magnitude returns the scale of the relation at the given values:
+// Σᵢ |Coeffᵢ·vals[eᵢ]| / 2 (half the gross flow, so that an exact A=B+C
+// relation has magnitude ≈ A).
+func (r Relation) Magnitude(vals []float64) float64 {
+	var s float64
+	for _, t := range r.Terms {
+		s += math.Abs(t.Coeff * vals[t.Event])
+	}
+	return s / 2
+}
+
+// Derived is a derived event (§2 "Errors in Derived Events"): a mathematical
+// combination of individual HPC values, e.g. IPC or Backend_Bound.
+type Derived struct {
+	Name   string
+	Inputs []EventID
+	// Eval computes the derived value from the input event values, in
+	// Inputs order.
+	Eval func(in []float64) float64
+	Desc string
+}
+
+// Catalog is the complete event model for one CPU architecture.
+type Catalog struct {
+	Arch     string // e.g. "x86_64-skylake"
+	NumFixed int    // fixed HPCs (n_f in the paper's formalism)
+	NumProg  int    // programmable HPCs (n_p)
+	NumMSR   int    // auxiliary off-core-response MSRs available
+	Events   []Event
+	Rels     []Relation
+	Derived  []Derived
+
+	byName map[string]EventID
+}
+
+// newCatalog starts a catalog builder.
+func newCatalog(arch string, numFixed, numProg, numMSR int) *Catalog {
+	return &Catalog{
+		Arch:     arch,
+		NumFixed: numFixed,
+		NumProg:  numProg,
+		NumMSR:   numMSR,
+		byName:   make(map[string]EventID),
+	}
+}
+
+func (c *Catalog) addEvent(e Event) EventID {
+	if _, dup := c.byName[e.Name]; dup {
+		panic(fmt.Sprintf("uarch: duplicate event %q in %s", e.Name, c.Arch))
+	}
+	e.ID = EventID(len(c.Events))
+	c.Events = append(c.Events, e)
+	c.byName[e.Name] = e.ID
+	return e.ID
+}
+
+// fixed registers a fixed-counter event at the given fixed slot.
+func (c *Catalog) fixed(name string, slot int, desc string) EventID {
+	return c.addEvent(Event{Name: name, Fixed: true, FixedIndex: slot, Desc: desc})
+}
+
+// prog registers a programmable event with the given counter mask.
+func (c *Catalog) prog(name string, mask uint, desc string) EventID {
+	return c.addEvent(Event{Name: name, CounterMask: mask, Desc: desc})
+}
+
+// progMSR registers a programmable event that also consumes an MSR.
+func (c *Catalog) progMSR(name string, mask uint, desc string) EventID {
+	return c.addEvent(Event{Name: name, CounterMask: mask, NeedsMSR: true, Desc: desc})
+}
+
+// relation registers a linear invariant by event name. Terms are given as
+// (coeff, name) pairs.
+func (c *Catalog) relation(name string, relTol float64, desc string, terms ...Term) {
+	c.Rels = append(c.Rels, Relation{Name: name, Terms: terms, RelTol: relTol, Desc: desc})
+}
+
+func (c *Catalog) derived(name, desc string, inputs []EventID, eval func([]float64) float64) {
+	c.Derived = append(c.Derived, Derived{Name: name, Inputs: inputs, Eval: eval, Desc: desc})
+}
+
+// Lookup returns the EventID for name, or InvalidEvent if unknown.
+func (c *Catalog) Lookup(name string) EventID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return InvalidEvent
+}
+
+// MustEvent returns the EventID for name, panicking if unknown. It is used
+// at catalog-construction and test time only.
+func (c *Catalog) MustEvent(name string) EventID {
+	id := c.Lookup(name)
+	if id == InvalidEvent {
+		panic(fmt.Sprintf("uarch: unknown event %q in %s", name, c.Arch))
+	}
+	return id
+}
+
+// Event returns the event descriptor for id.
+func (c *Catalog) Event(id EventID) Event { return c.Events[id] }
+
+// NumEvents returns the number of events in the catalog (n_e).
+func (c *Catalog) NumEvents() int { return len(c.Events) }
+
+// FixedEvents returns the IDs of all fixed-counter events.
+func (c *Catalog) FixedEvents() []EventID {
+	var out []EventID
+	for _, e := range c.Events {
+		if e.Fixed {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// ProgrammableEvents returns the IDs of all programmable events.
+func (c *Catalog) ProgrammableEvents() []EventID {
+	var out []EventID
+	for _, e := range c.Events {
+		if !e.Fixed {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// RelationsOf returns the indices (into Rels) of every relation mentioning
+// the event.
+func (c *Catalog) RelationsOf(id EventID) []int {
+	var out []int
+	for i, r := range c.Rels {
+		for _, t := range r.Terms {
+			if t.Event == id {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DerivedByName returns the derived-event definition, or nil.
+func (c *Catalog) DerivedByName(name string) *Derived {
+	for i := range c.Derived {
+		if c.Derived[i].Name == name {
+			return &c.Derived[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks internal consistency of the catalog. It is called by the
+// constructors and exercised directly in tests.
+func (c *Catalog) Validate() error {
+	if c.NumFixed < 0 || c.NumProg <= 0 {
+		return fmt.Errorf("uarch: %s: need at least one programmable counter", c.Arch)
+	}
+	fullMask := uint(1)<<uint(c.NumProg) - 1
+	fixedSeen := make(map[int]string)
+	for _, e := range c.Events {
+		if e.Fixed {
+			if e.FixedIndex < 0 || e.FixedIndex >= c.NumFixed {
+				return fmt.Errorf("uarch: %s: %s fixed slot %d out of range", c.Arch, e.Name, e.FixedIndex)
+			}
+			if prev, dup := fixedSeen[e.FixedIndex]; dup {
+				return fmt.Errorf("uarch: %s: fixed slot %d claimed by both %s and %s", c.Arch, e.FixedIndex, prev, e.Name)
+			}
+			fixedSeen[e.FixedIndex] = e.Name
+			continue
+		}
+		if e.CounterMask == 0 {
+			return fmt.Errorf("uarch: %s: %s has empty counter mask", c.Arch, e.Name)
+		}
+		if e.CounterMask&^fullMask != 0 {
+			return fmt.Errorf("uarch: %s: %s mask %#x exceeds %d counters", c.Arch, e.Name, e.CounterMask, c.NumProg)
+		}
+	}
+	for _, r := range c.Rels {
+		if len(r.Terms) < 2 {
+			return fmt.Errorf("uarch: %s: relation %s has <2 terms", c.Arch, r.Name)
+		}
+		if r.RelTol <= 0 {
+			return fmt.Errorf("uarch: %s: relation %s has non-positive tolerance", c.Arch, r.Name)
+		}
+		for _, t := range r.Terms {
+			if t.Event < 0 || int(t.Event) >= len(c.Events) {
+				return fmt.Errorf("uarch: %s: relation %s references unknown event %d", c.Arch, r.Name, t.Event)
+			}
+			if t.Coeff == 0 {
+				return fmt.Errorf("uarch: %s: relation %s has zero coefficient", c.Arch, r.Name)
+			}
+		}
+	}
+	for _, d := range c.Derived {
+		if d.Eval == nil {
+			return fmt.Errorf("uarch: %s: derived %s has no formula", c.Arch, d.Name)
+		}
+		for _, in := range d.Inputs {
+			if in < 0 || int(in) >= len(c.Events) {
+				return fmt.Errorf("uarch: %s: derived %s references unknown event %d", c.Arch, d.Name, in)
+			}
+		}
+	}
+	return nil
+}
+
+// EvalDerived computes a derived event from a full event-value vector
+// (indexed by EventID).
+func (c *Catalog) EvalDerived(d *Derived, vals []float64) float64 {
+	in := make([]float64, len(d.Inputs))
+	for i, id := range d.Inputs {
+		in[i] = vals[id]
+	}
+	return d.Eval(in)
+}
+
+// anyCtr returns the "any programmable counter" mask for n counters.
+func anyCtr(n int) uint { return uint(1)<<uint(n) - 1 }
+
+// loCtr returns the mask selecting the low k of n counters.
+func loCtr(k int) uint { return uint(1)<<uint(k) - 1 }
+
+// oneCtr returns the mask selecting exactly counter i.
+func oneCtr(i int) uint { return uint(1) << uint(i) }
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
