@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	"bayesperf/internal/measure"
+	"bayesperf/internal/stats"
+	"bayesperf/internal/uarch"
+)
+
+// TestDefaultRunImproves is the literal acceptance criterion: at the CLI's
+// default configuration (seed 42, 200 intervals/phase, 1% noise), the
+// corrected mean relative error is strictly below the raw multiplexed error
+// on both built-in catalogs.
+func TestDefaultRunImproves(t *testing.T) {
+	wl := measure.DefaultWorkload(200)
+	cfg := measure.DefaultMuxConfig()
+	for _, cat := range uarch.Catalogs() {
+		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
+		if !rep.Converged {
+			t.Errorf("%s: inference did not converge (%d iters)", cat.Arch, rep.Iters)
+		}
+		if rep.CorrMeanErr >= rep.RawMeanErr {
+			t.Errorf("%s: corrected mean err %.4f%% not below raw %.4f%%",
+				cat.Arch, 100*rep.CorrMeanErr, 100*rep.RawMeanErr)
+		}
+	}
+}
+
+// TestCorrectionIsStatisticallyBetter checks the guarantee the Bayesian
+// projection actually provides: the correction minimizes error in the
+// observation-precision-weighted norm, so individual unlucky realizations
+// may see a hair more mean relative error, but (a) the worst case stays
+// tightly bounded and (b) the improvement pooled across seeds is large.
+func TestCorrectionIsStatisticallyBetter(t *testing.T) {
+	wl := measure.DefaultWorkload(200)
+	cfg := measure.DefaultMuxConfig()
+	for _, cat := range uarch.Catalogs() {
+		var margin stats.Running
+		for seed := uint64(1); seed <= 15; seed++ {
+			rep := runCatalog(cat, wl, cfg, seed, 500, 1e-9)
+			if !rep.Converged {
+				t.Errorf("%s seed=%d: inference did not converge", cat.Arch, seed)
+			}
+			// Never materially worse than raw on any single run.
+			if rep.CorrMeanErr > 1.05*rep.RawMeanErr {
+				t.Errorf("%s seed=%d: corrected err %.4f%% exceeds 1.05× raw %.4f%%",
+					cat.Arch, seed, 100*rep.CorrMeanErr, 100*rep.RawMeanErr)
+			}
+			margin.Add((rep.RawMeanErr - rep.CorrMeanErr) / rep.RawMeanErr)
+		}
+		// Pooled across seeds the correction must deliver a real win.
+		if margin.Mean() < 0.10 {
+			t.Errorf("%s: pooled mean improvement %.1f%% < 10%%", cat.Arch, 100*margin.Mean())
+		}
+	}
+}
+
+// TestHighNoiseRegime stresses the observation model: with 5× the default
+// measurement noise the correction must still deliver at default seed.
+func TestHighNoiseRegime(t *testing.T) {
+	wl := measure.DefaultWorkload(150)
+	cfg := measure.DefaultMuxConfig()
+	cfg.NoiseFrac = 0.05
+	for _, cat := range uarch.Catalogs() {
+		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
+		if rep.CorrMeanErr >= rep.RawMeanErr {
+			t.Errorf("%s: high-noise corrected err %.4f%% not below raw %.4f%%",
+				cat.Arch, 100*rep.CorrMeanErr, 100*rep.RawMeanErr)
+		}
+	}
+}

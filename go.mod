@@ -1,0 +1,3 @@
+module bayesperf
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package graph implements BayesPerf's inference layer: a Gaussian factor
+// graph over the events of one uarch.Catalog, with a variable node per event
+// and a factor node per measurement and per microarchitectural invariant
+// (§4 of the paper). Inference runs iterative Gaussian message passing
+// (loopy BP, the Gaussian special case of expectation propagation), which is
+// exact on tree-structured relation sets and empirically convergent on the
+// loopy catalogs used here thanks to damping.
+//
+// The graph works on whatever unit the caller observes (per-interval rates
+// or whole-run totals); internally all quantities are rescaled to O(1) so
+// the weak proper prior and the convergence tolerance are scale-free.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"bayesperf/internal/uarch"
+)
+
+// natural is a Gaussian in natural parameters: precision λ = 1/σ² and
+// precision-adjusted mean h = μ/σ². The zero value is the (improper)
+// uninformative message.
+type natural struct {
+	prec float64
+	h    float64
+}
+
+func (n natural) add(o natural) natural { return natural{n.prec + o.prec, n.h + o.h} }
+func (n natural) sub(o natural) natural { return natural{n.prec - o.prec, n.h - o.h} }
+
+// moments converts to (mean, variance), guarding against vanishing
+// precision: messages with precision below minPrec behave as flat.
+func (n natural) moments() (mean, variance float64) {
+	const minPrec = 1e-12
+	if n.prec < minPrec {
+		return 0, 1 / minPrec
+	}
+	return n.h / n.prec, 1 / n.prec
+}
+
+func fromMoments(mean, variance float64) natural {
+	if variance <= 0 {
+		variance = 1e-300
+	}
+	p := 1 / variance
+	return natural{p, mean * p}
+}
+
+// observation is one measurement factor attached to a variable.
+type observation struct {
+	mean float64
+	std  float64
+}
+
+// Graph is a Gaussian factor graph for one catalog. Build it once per
+// catalog, Observe each measured event, then Infer.
+type Graph struct {
+	cat *uarch.Catalog
+	obs []*observation // per event, nil when unobserved
+}
+
+// Build creates an inference graph over the catalog's events and invariants.
+func Build(cat *uarch.Catalog) *Graph {
+	return &Graph{
+		cat: cat,
+		obs: make([]*observation, cat.NumEvents()),
+	}
+}
+
+// Catalog returns the catalog the graph was built over.
+func (g *Graph) Catalog() *uarch.Catalog { return g.cat }
+
+// Observe attaches (or replaces) the measurement factor for an event:
+// the event's value is measured as N(mean, std²). For multiplexed counters
+// the std comes from the Student-t marginal of the per-interval samples
+// (measure.Multiplex); std must be positive.
+func (g *Graph) Observe(id uarch.EventID, mean, std float64) {
+	if id < 0 || int(id) >= len(g.obs) {
+		panic(fmt.Sprintf("graph: Observe of unknown event %d", id))
+	}
+	if std <= 0 || math.IsNaN(std) || math.IsNaN(mean) {
+		panic(fmt.Sprintf("graph: Observe(%s) with invalid mean=%v std=%v",
+			g.cat.Event(id).Name, mean, std))
+	}
+	g.obs[id] = &observation{mean: mean, std: std}
+}
+
+// Result holds the posterior marginals after Infer, indexed by EventID.
+type Result struct {
+	Mean      []float64
+	Std       []float64
+	Iters     int
+	Converged bool
+}
+
+// damping applied to factor→variable messages (in natural parameters);
+// stabilizes loopy message passing on catalogs whose relations share events.
+const damping = 0.7
+
+// Infer runs damped Gaussian message passing until the largest change in
+// any posterior mean (relative to the problem scale) drops below tol, or
+// maxIter sweeps elapse. It returns the posterior mean and std per event.
+// Unobserved events are inferred purely from the invariants (with a weak
+// zero-mean prior keeping their marginals proper).
+func (g *Graph) Infer(maxIter int, tol float64) Result {
+	nv := g.cat.NumEvents()
+	rels := g.cat.Rels
+
+	// Rescale the problem to O(1) so priors and tolerances are scale-free.
+	scale := 1.0
+	for _, o := range g.obs {
+		if o != nil && math.Abs(o.mean) > scale {
+			scale = math.Abs(o.mean)
+		}
+	}
+
+	// Fixed unary factors: weak proper prior plus the observation, in
+	// scaled units.
+	const priorPrec = 1e-12
+	unary := make([]natural, nv)
+	scaledMeans := make([]float64, nv) // observed means / scale (0 if unobserved)
+	for i, o := range g.obs {
+		unary[i] = natural{prec: priorPrec}
+		if o != nil {
+			m, s := o.mean/scale, o.std/scale
+			unary[i] = unary[i].add(fromMoments(m, s*s))
+			scaledMeans[i] = m
+		}
+	}
+
+	// Relation factor noise: σ_r = RelTol · magnitude(observed means),
+	// floored so fully-unobserved relations still carry information.
+	relVar := make([]float64, len(rels))
+	for ri, r := range rels {
+		mag := r.Magnitude(scaledMeans)
+		if mag < 1e-6 {
+			mag = 1e-6
+		}
+		sd := r.RelTol * mag
+		relVar[ri] = sd * sd
+	}
+
+	// msg[ri][k] is the message from relation ri to its k-th term's
+	// variable. Beliefs are maintained incrementally.
+	msg := make([][]natural, len(rels))
+	for ri, r := range rels {
+		msg[ri] = make([]natural, len(r.Terms))
+	}
+	belief := make([]natural, nv)
+	copy(belief, unary)
+
+	means := make([]float64, nv)
+	for i := range means {
+		means[i], _ = belief[i].moments()
+	}
+
+	iters := 0
+	converged := false
+	for iters = 1; iters <= maxIter; iters++ {
+		maxDelta := 0.0
+		for ri, r := range rels {
+			for k, t := range r.Terms {
+				// Gather moments of every other term's variable→factor
+				// message (belief minus this factor's old message).
+				muJ := 0.0
+				varJ := relVar[ri]
+				for k2, t2 := range r.Terms {
+					if k2 == k {
+						continue
+					}
+					m, v := belief[t2.Event].sub(msg[ri][k2]).moments()
+					muJ += t2.Coeff * m
+					varJ += t2.Coeff * t2.Coeff * v
+				}
+				// Solve Σ c_i x_i ~ N(0, σ_r²) for this term.
+				cj := t.Coeff
+				newMsg := fromMoments(-muJ/cj, varJ/(cj*cj))
+				// Damp in natural parameters and update the belief
+				// incrementally.
+				old := msg[ri][k]
+				damped := natural{
+					prec: damping*newMsg.prec + (1-damping)*old.prec,
+					h:    damping*newMsg.h + (1-damping)*old.h,
+				}
+				belief[t.Event] = belief[t.Event].sub(old).add(damped)
+				msg[ri][k] = damped
+			}
+		}
+		for i := range means {
+			m, _ := belief[i].moments()
+			if d := math.Abs(m - means[i]); d > maxDelta {
+				maxDelta = d
+			}
+			means[i] = m
+		}
+		if maxDelta < tol {
+			converged = true
+			break
+		}
+	}
+	if iters > maxIter {
+		iters = maxIter
+	}
+
+	res := Result{
+		Mean:      make([]float64, nv),
+		Std:       make([]float64, nv),
+		Iters:     iters,
+		Converged: converged,
+	}
+	for i := range res.Mean {
+		m, v := belief[i].moments()
+		res.Mean[i] = m * scale
+		res.Std[i] = math.Sqrt(v) * scale
+	}
+	return res
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"bayesperf/internal/rng"
+	"bayesperf/internal/stats"
+	"bayesperf/internal/uarch"
+)
+
+// skylakeTruth returns an event-value vector for the Skylake catalog on
+// which every declared invariant holds exactly.
+func skylakeTruth(c *uarch.Catalog) []float64 {
+	v := make([]float64, c.NumEvents())
+	set := func(name string, x float64) { v[c.MustEvent(name)] = x }
+	set("MEM_INST_RETIRED.ALL_LOADS", 3.0e8)
+	set("MEM_INST_RETIRED.ALL_STORES", 1.5e8)
+	set("BR_MISP_RETIRED.ALL_BRANCHES", 5.0e6)
+	set("BR_PRED_RETIRED.ALL_BRANCHES", 9.5e7)
+	set("BR_INST_RETIRED.ALL_BRANCHES", 1.0e8)
+	set("INST_RETIRED.OTHER", 4.5e8)
+	set("INST_RETIRED.ANY", 1.0e9)
+	set("MEM_LOAD_RETIRED.L1_HIT", 2.85e8)
+	set("MEM_LOAD_RETIRED.L1_MISS", 1.5e7)
+	set("MEM_LOAD_RETIRED.L2_HIT", 1.2e7)
+	set("MEM_LOAD_RETIRED.L3_HIT", 2.4e6)
+	set("MEM_LOAD_RETIRED.L3_MISS", 6.0e5)
+	set("OFFCORE_RESPONSE.DEMAND_DATA_RD", 3.0e6)
+	set("OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS", 6.0e5)
+	set("CPU_CLK_UNHALTED.THREAD", 8.0e8)
+	set("CPU_CLK_UNHALTED.REF_TSC", 7.5e8)
+	set("L1D_PEND_MISS.PENDING", 4.0e7)
+	return v
+}
+
+func TestTruthVectorIsConsistent(t *testing.T) {
+	c := uarch.Skylake()
+	v := skylakeTruth(c)
+	for _, r := range c.Rels {
+		if res := math.Abs(r.Residual(v)); res > 1e-6*r.Magnitude(v) {
+			t.Errorf("relation %s residual %g on truth vector", r.Name, res)
+		}
+	}
+}
+
+// TestInferRecoversTruth is the ISSUE acceptance criterion: with every
+// event observed under small noise, inference recovers the ground truth
+// within 2% mean relative error — and no worse than the raw observations.
+func TestInferRecoversTruth(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	r := rng.New(11)
+
+	g := Build(c)
+	var rawErr stats.Running
+	for id, want := range truth {
+		std := 0.01 * want
+		obs := r.Gaussian(want, std)
+		g.Observe(uarch.EventID(id), obs, std)
+		rawErr.Add(stats.RelErr(obs, want, 1))
+	}
+	res := g.Infer(200, 1e-9)
+	if !res.Converged {
+		t.Fatalf("inference did not converge in %d iters", res.Iters)
+	}
+
+	var postErr stats.Running
+	for id, want := range truth {
+		postErr.Add(stats.RelErr(res.Mean[id], want, 1))
+	}
+	if postErr.Mean() > 0.02 {
+		t.Errorf("posterior mean relative error %.4f > 2%%", postErr.Mean())
+	}
+	if postErr.Mean() >= rawErr.Mean() {
+		t.Errorf("posterior error %.4f not below raw observation error %.4f",
+			postErr.Mean(), rawErr.Mean())
+	}
+}
+
+// TestInferFillsUnobserved checks that an unobserved event tied to observed
+// ones through an invariant is recovered from the relations alone.
+func TestInferFillsUnobserved(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	missing := c.MustEvent("MEM_LOAD_RETIRED.L1_MISS")
+
+	g := Build(c)
+	for id, want := range truth {
+		if uarch.EventID(id) == missing {
+			continue
+		}
+		g.Observe(uarch.EventID(id), want, 0.005*want)
+	}
+	res := g.Infer(200, 1e-9)
+	got, want := res.Mean[missing], truth[missing]
+	if e := stats.RelErr(got, want, 1); e > 0.05 {
+		t.Errorf("unobserved %s inferred as %.4g, want %.4g (rel err %.3f)",
+			c.Event(missing).Name, got, want, e)
+	}
+	if res.Std[missing] <= 0 || math.IsInf(res.Std[missing], 0) {
+		t.Errorf("unobserved event posterior std = %g", res.Std[missing])
+	}
+}
+
+// TestInferTightensUncertainty checks the Bayesian value-add: posterior
+// stds are no larger than the observation stds for events constrained by
+// invariants.
+func TestInferTightensUncertainty(t *testing.T) {
+	c := uarch.Power9()
+	g := Build(c)
+	// A consistent Power9 vector.
+	v := make([]float64, c.NumEvents())
+	set := func(name string, x float64) { v[c.MustEvent(name)] = x }
+	set("PM_LD_CMPL", 2.0e8)
+	set("PM_ST_CMPL", 1.0e8)
+	set("PM_BR_CMPL", 8.0e7)
+	set("PM_BR_MPRED_CMPL", 4.0e6)
+	set("PM_INST_OTHER_CMPL", 2.2e8)
+	set("PM_INST_CMPL", 6.0e8)
+	set("PM_LD_HIT_L1", 1.9e8)
+	set("PM_LD_MISS_L1", 1.0e7)
+	set("PM_DATA_FROM_L2", 8.0e6)
+	set("PM_DATA_FROM_L3", 1.5e6)
+	set("PM_DATA_FROM_MEM", 5.0e5)
+	set("PM_RUN_CYC", 5.0e8)
+	for _, r := range c.Rels {
+		if res := math.Abs(r.Residual(v)); res > 1e-6*r.Magnitude(v) {
+			t.Fatalf("relation %s residual %g on truth vector", r.Name, res)
+		}
+	}
+	obsStd := make([]float64, c.NumEvents())
+	for id, want := range v {
+		obsStd[id] = 0.02 * want
+		g.Observe(uarch.EventID(id), want, obsStd[id])
+	}
+	res := g.Infer(200, 1e-9)
+	ld := c.MustEvent("PM_LD_CMPL")
+	if res.Std[ld] >= obsStd[ld] {
+		t.Errorf("posterior std %.4g not tighter than observation std %.4g",
+			res.Std[ld], obsStd[ld])
+	}
+}
+
+func BenchmarkInfer(b *testing.B) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(c)
+		for id, want := range truth {
+			std := 0.05 * want
+			g.Observe(uarch.EventID(id), r.Gaussian(want, std), std)
+		}
+		res := g.Infer(100, 1e-8)
+		if math.IsNaN(res.Mean[0]) {
+			b.Fatal("NaN posterior")
+		}
+	}
+}

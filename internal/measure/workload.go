@@ -1,0 +1,238 @@
+// Package measure implements BayesPerf's measurement layer: a
+// phase-structured ground-truth workload generator and a round-robin
+// counter-multiplexing simulator that reproduces the paper's observation
+// model (§4.2) — scaled, noisy per-event estimates whose uncertainty comes
+// from the Student-t marginal of the observed per-interval samples.
+package measure
+
+import (
+	"fmt"
+
+	"bayesperf/internal/rng"
+	"bayesperf/internal/timeseries"
+	"bayesperf/internal/uarch"
+)
+
+// Phase is one steady-state region of a workload. Rates are per sampling
+// interval; fractions are of the phase's instruction stream. Within a phase
+// every interval's primitives jitter around the phase means, but the
+// catalogs' invariants hold exactly in every interval by construction.
+type Phase struct {
+	Name      string
+	Intervals int
+	InstRate  float64 // mean instructions per interval
+
+	LoadFrac   float64 // fraction of instructions that are loads
+	StoreFrac  float64 // fraction that are stores
+	BranchFrac float64 // fraction that are branches
+	MispRate   float64 // fraction of branches mispredicted
+
+	L1MissRate float64 // fraction of loads missing the L1D
+	L2HitFrac  float64 // fraction of L1 misses served by L2
+	L3HitFrac  float64 // fraction of post-L2 misses served by L3
+
+	BaseCPI float64 // cycles per instruction before memory penalties
+	Jitter  float64 // relative per-interval noise on the phase rates
+}
+
+// Workload is a named sequence of phases.
+type Workload struct {
+	Name   string
+	Phases []Phase
+}
+
+// Intervals returns the total number of sampling intervals.
+func (w Workload) Intervals() int {
+	n := 0
+	for _, p := range w.Phases {
+		n += p.Intervals
+	}
+	return n
+}
+
+// DefaultWorkload is the evaluation workload: a compute-bound phase, a
+// memory-bound phase with heavy cache missing, and a branchy phase — the
+// phase changes are what make naive multiplexed extrapolation err (§2).
+func DefaultWorkload(intervalsPerPhase int) Workload {
+	return Workload{
+		Name: "compute-memory-branchy",
+		Phases: []Phase{
+			{
+				Name: "compute", Intervals: intervalsPerPhase, InstRate: 5e6,
+				LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.10, MispRate: 0.01,
+				L1MissRate: 0.01, L2HitFrac: 0.85, L3HitFrac: 0.80,
+				BaseCPI: 0.30, Jitter: 0.03,
+			},
+			{
+				Name: "memory", Intervals: intervalsPerPhase, InstRate: 2e6,
+				LoadFrac: 0.38, StoreFrac: 0.14, BranchFrac: 0.08, MispRate: 0.02,
+				L1MissRate: 0.12, L2HitFrac: 0.55, L3HitFrac: 0.50,
+				BaseCPI: 0.45, Jitter: 0.06,
+			},
+			{
+				Name: "branchy", Intervals: intervalsPerPhase, InstRate: 3.5e6,
+				LoadFrac: 0.18, StoreFrac: 0.07, BranchFrac: 0.28, MispRate: 0.08,
+				L1MissRate: 0.02, L2HitFrac: 0.75, L3HitFrac: 0.65,
+				BaseCPI: 0.40, Jitter: 0.04,
+			},
+		},
+	}
+}
+
+// primitives are the machine-level quantities of one sampling interval from
+// which every catalog event derives; building events from shared primitives
+// is what makes the declared invariants hold exactly in the ground truth.
+type primitives struct {
+	loads, stores, branches, misp, other float64
+	l1Hit, l1Miss, l2Hit, l3Hit, l3Miss  float64
+	inst, cycles, refCycles, pendCycles  float64
+}
+
+// jittered draws a rate around mean with the phase's relative jitter,
+// clamped positive.
+func jittered(r *rng.Rand, mean, jitter float64) float64 {
+	v := r.Gaussian(mean, jitter*mean)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// drawPrimitives samples one interval of the phase.
+func drawPrimitives(p Phase, r *rng.Rand) primitives {
+	var pr primitives
+	pr.inst = jittered(r, p.InstRate, p.Jitter)
+	pr.loads = jittered(r, p.LoadFrac, p.Jitter) * pr.inst
+	pr.stores = jittered(r, p.StoreFrac, p.Jitter) * pr.inst
+	pr.branches = jittered(r, p.BranchFrac, p.Jitter) * pr.inst
+	pr.other = pr.inst - pr.loads - pr.stores - pr.branches
+	pr.misp = jittered(r, p.MispRate, p.Jitter) * pr.branches
+
+	pr.l1Miss = jittered(r, p.L1MissRate, p.Jitter) * pr.loads
+	pr.l1Hit = pr.loads - pr.l1Miss
+	pr.l2Hit = jittered(r, p.L2HitFrac, p.Jitter) * pr.l1Miss
+	rest := pr.l1Miss - pr.l2Hit
+	pr.l3Hit = jittered(r, p.L3HitFrac, p.Jitter) * rest
+	pr.l3Miss = rest - pr.l3Hit
+
+	// Cycle model: base CPI plus idealized memory latencies (matching the
+	// Backend_Bound derived-event weights in the Skylake catalog).
+	pr.cycles = p.BaseCPI*pr.inst + 12*pr.l2Hit + 44*pr.l3Hit + 200*pr.l3Miss
+	pr.refCycles = 0.94 * pr.cycles
+	pr.pendCycles = 10 * pr.l1Miss
+	return pr
+}
+
+// eventValue maps one catalog event name onto the interval's primitives.
+// Event names are globally unique across the built-in catalogs, so a single
+// mapping serves both; unknown names panic, which the tests turn into a
+// catalog/generator drift check.
+func eventValue(name string, p primitives) float64 {
+	switch name {
+	// Skylake.
+	case "INST_RETIRED.ANY":
+		return p.inst
+	case "CPU_CLK_UNHALTED.THREAD":
+		return p.cycles
+	case "CPU_CLK_UNHALTED.REF_TSC":
+		return p.refCycles
+	case "MEM_INST_RETIRED.ALL_LOADS":
+		return p.loads
+	case "MEM_INST_RETIRED.ALL_STORES":
+		return p.stores
+	case "BR_INST_RETIRED.ALL_BRANCHES":
+		return p.branches
+	case "BR_MISP_RETIRED.ALL_BRANCHES":
+		return p.misp
+	case "BR_PRED_RETIRED.ALL_BRANCHES":
+		return p.branches - p.misp
+	case "INST_RETIRED.OTHER":
+		return p.other
+	case "MEM_LOAD_RETIRED.L1_HIT":
+		return p.l1Hit
+	case "MEM_LOAD_RETIRED.L1_MISS":
+		return p.l1Miss
+	case "MEM_LOAD_RETIRED.L2_HIT":
+		return p.l2Hit
+	case "MEM_LOAD_RETIRED.L3_HIT":
+		return p.l3Hit
+	case "MEM_LOAD_RETIRED.L3_MISS":
+		return p.l3Miss
+	case "L1D_PEND_MISS.PENDING":
+		return p.pendCycles
+	case "OFFCORE_RESPONSE.DEMAND_DATA_RD":
+		return p.l3Hit + p.l3Miss
+	case "OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS":
+		return p.l3Miss
+	// Power9.
+	case "PM_INST_CMPL":
+		return p.inst
+	case "PM_RUN_CYC":
+		return p.cycles
+	case "PM_LD_CMPL":
+		return p.loads
+	case "PM_ST_CMPL":
+		return p.stores
+	case "PM_BR_CMPL":
+		return p.branches
+	case "PM_BR_MPRED_CMPL":
+		return p.misp
+	case "PM_INST_OTHER_CMPL":
+		return p.other
+	case "PM_LD_HIT_L1":
+		return p.l1Hit
+	case "PM_LD_MISS_L1":
+		return p.l1Miss
+	case "PM_DATA_FROM_L2":
+		return p.l2Hit
+	case "PM_DATA_FROM_L3":
+		return p.l3Hit
+	case "PM_DATA_FROM_MEM":
+		return p.l3Miss
+	}
+	panic(fmt.Sprintf("measure: no ground-truth model for event %q", name))
+}
+
+// Trace is the ground-truth event trace of one workload run on one catalog:
+// one uniformly sampled series per event, in EventID order.
+type Trace struct {
+	Cat    *uarch.Catalog
+	Series []timeseries.Series
+}
+
+// GroundTruth simulates the workload on the catalog's idealized core,
+// producing the polling-mode trace every event would show if the PMU had
+// unlimited counters. All catalog invariants hold exactly in every interval.
+func GroundTruth(cat *uarch.Catalog, wl Workload, r *rng.Rand) *Trace {
+	tr := &Trace{Cat: cat, Series: make([]timeseries.Series, cat.NumEvents())}
+	total := wl.Intervals()
+	for i := range tr.Series {
+		tr.Series[i] = make(timeseries.Series, 0, total)
+	}
+	for _, ph := range wl.Phases {
+		for t := 0; t < ph.Intervals; t++ {
+			p := drawPrimitives(ph, r)
+			for id := range tr.Series {
+				tr.Series[id] = append(tr.Series[id], eventValue(cat.Event(uarch.EventID(id)).Name, p))
+			}
+		}
+	}
+	return tr
+}
+
+// Totals returns the whole-run true count per event.
+func (t *Trace) Totals() []float64 {
+	out := make([]float64, len(t.Series))
+	for i, s := range t.Series {
+		out[i] = s.Sum()
+	}
+	return out
+}
+
+// Intervals returns the trace length.
+func (t *Trace) Intervals() int {
+	if len(t.Series) == 0 {
+		return 0
+	}
+	return len(t.Series[0])
+}

@@ -159,8 +159,16 @@ func NormalPDF(x, mean, std float64) float64 {
 	return math.Exp(-0.5*z*z) / (std * math.Sqrt(2*math.Pi))
 }
 
-// NormalLogPDF returns the log density of N(mean, std²) at x.
+// NormalLogPDF returns the log density of N(mean, std²) at x. Degenerate
+// std <= 0 mirrors NormalPDF: log of a point mass at mean (+Inf at x ==
+// mean, -Inf elsewhere) instead of NaN/±Inf garbage from the division.
 func NormalLogPDF(x, mean, std float64) float64 {
+	if std <= 0 {
+		if x == mean {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
 	z := (x - mean) / std
 	return -0.5*z*z - math.Log(std) - 0.5*math.Log(2*math.Pi)
 }

@@ -144,6 +144,17 @@ func TestNormalLogPDFConsistent(t *testing.T) {
 	}
 }
 
+func TestNormalLogPDFDegenerateStd(t *testing.T) {
+	for _, std := range []float64{0, -1} {
+		if got := NormalLogPDF(2, 2, std); !math.IsInf(got, 1) {
+			t.Errorf("NormalLogPDF(x==mean, std=%v) = %v, want +Inf", std, got)
+		}
+		if got := NormalLogPDF(3, 2, std); !math.IsInf(got, -1) {
+			t.Errorf("NormalLogPDF(x!=mean, std=%v) = %v, want -Inf", std, got)
+		}
+	}
+}
+
 func TestStudentTCDFSymmetry(t *testing.T) {
 	prop := func(xRaw int16, nuRaw uint8) bool {
 		x := float64(xRaw) / 1000

@@ -1,0 +1,44 @@
+package timeseries
+
+import (
+	"testing"
+
+	"bayesperf/internal/rng"
+)
+
+func randomSeries(n int, seed uint64) Series {
+	r := rng.New(seed)
+	s := make(Series, n)
+	for i := range s {
+		s[i] = r.Gaussian(1000, 100)
+	}
+	return s
+}
+
+func benchDTW(b *testing.B, n, window int) {
+	a := randomSeries(n, 1)
+	c := randomSeries(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DTW(a, c, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTW256Unconstrained(b *testing.B)  { benchDTW(b, 256, 0) }
+func BenchmarkDTW1024Unconstrained(b *testing.B) { benchDTW(b, 1024, 0) }
+func BenchmarkDTW1024Band32(b *testing.B)        { benchDTW(b, 1024, 32) }
+
+func BenchmarkAlignedRelError512(b *testing.B) {
+	ref := randomSeries(512, 3)
+	target := randomSeries(512, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AlignedRelError(ref, target, 64, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

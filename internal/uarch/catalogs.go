@@ -1,0 +1,143 @@
+package uarch
+
+// This file holds the two concrete CPU catalogs promised by the package doc:
+// an Intel Skylake-like x86_64 core and an IBM Power9-like ppc64 core. Event
+// names follow the vendor naming schemes (perfmon / POWER9 PMU guide) closely
+// enough to be recognizable, but the catalogs model idealized cores: every
+// invariant declared here holds exactly in the simulated ground truth
+// produced by internal/measure.
+
+// Skylake returns the catalog for an Intel Skylake-like x86_64 core:
+// 3 fixed counters (INST_RETIRED.ANY, CPU_CLK_UNHALTED.THREAD,
+// CPU_CLK_UNHALTED.REF_TSC), 4 programmable counters, and 2 off-core
+// response MSRs. The invariant library encodes the retirement breakdown,
+// the load cache-hierarchy flow, and the off-core response consistency
+// relations (§3–§4 of the paper).
+func Skylake() *Catalog {
+	c := newCatalog("x86_64-skylake", 3, 4, 2)
+
+	// Fixed-counter events: always counted, never multiplexed.
+	inst := c.fixed("INST_RETIRED.ANY", 0, "retired instructions (fixed ctr 0)")
+	c.fixed("CPU_CLK_UNHALTED.THREAD", 1, "core cycles while not halted (fixed ctr 1)")
+	c.fixed("CPU_CLK_UNHALTED.REF_TSC", 2, "reference-TSC cycles while not halted (fixed ctr 2)")
+
+	// Programmable events. Masks model real placement constraints: most
+	// events can go on any of the 4 counters; a few are restricted.
+	loads := c.prog("MEM_INST_RETIRED.ALL_LOADS", anyCtr(4), "retired load instructions")
+	stores := c.prog("MEM_INST_RETIRED.ALL_STORES", anyCtr(4), "retired store instructions")
+	branches := c.prog("BR_INST_RETIRED.ALL_BRANCHES", anyCtr(4), "retired branch instructions")
+	misp := c.prog("BR_MISP_RETIRED.ALL_BRANCHES", anyCtr(4), "retired mispredicted branches")
+	pred := c.prog("BR_PRED_RETIRED.ALL_BRANCHES", anyCtr(4), "retired correctly predicted branches")
+	other := c.prog("INST_RETIRED.OTHER", anyCtr(4), "retired instructions that are neither loads, stores nor branches")
+	l1Hit := c.prog("MEM_LOAD_RETIRED.L1_HIT", anyCtr(4), "retired loads that hit the L1 data cache")
+	l1Miss := c.prog("MEM_LOAD_RETIRED.L1_MISS", anyCtr(4), "retired loads that missed the L1 data cache")
+	l2Hit := c.prog("MEM_LOAD_RETIRED.L2_HIT", anyCtr(4), "retired loads that hit the L2 cache")
+	l3Hit := c.prog("MEM_LOAD_RETIRED.L3_HIT", anyCtr(4), "retired loads that hit the shared L3 cache")
+	l3Miss := c.prog("MEM_LOAD_RETIRED.L3_MISS", anyCtr(4), "retired loads that missed the L3 cache (DRAM access)")
+	// The classic Haswell/Broadwell-style restriction cited in §4: this
+	// event can only be counted on one specific programmable counter.
+	c.prog("L1D_PEND_MISS.PENDING", oneCtr(2), "cycles with outstanding L1D misses (counter 2 only)")
+	// Off-core response events consume an auxiliary MSR besides a counter
+	// (§4), and are restricted to the low two counters.
+	offRd := c.progMSR("OFFCORE_RESPONSE.DEMAND_DATA_RD", loCtr(2), "demand data reads that reached the uncore (needs MSR)")
+	offL3Miss := c.progMSR("OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS", loCtr(2), "demand data reads that missed the L3 (needs MSR)")
+
+	// Microarchitectural invariants (Σ coeff·event = 0, written as
+	// lhs − Σ rhs). Tolerances express how exactly each holds on the
+	// idealized core; they become factor noise scales in the graph.
+	c.relation("retirement_breakdown", 1e-3,
+		"INST_RETIRED = LOADS + STORES + BRANCHES + OTHER",
+		Term{inst, 1}, Term{loads, -1}, Term{stores, -1}, Term{branches, -1}, Term{other, -1})
+	c.relation("l1_load_flow", 1e-3,
+		"ALL_LOADS = L1_HIT + L1_MISS",
+		Term{loads, 1}, Term{l1Hit, -1}, Term{l1Miss, -1})
+	c.relation("cache_hierarchy_flow", 1e-3,
+		"L1_MISS = L2_HIT + L3_HIT + L3_MISS",
+		Term{l1Miss, 1}, Term{l2Hit, -1}, Term{l3Hit, -1}, Term{l3Miss, -1})
+	c.relation("branch_breakdown", 1e-3,
+		"ALL_BRANCHES = MISPREDICTED + PREDICTED",
+		Term{branches, 1}, Term{misp, -1}, Term{pred, -1})
+	c.relation("offcore_demand_rd", 2e-3,
+		"OFFCORE demand reads = loads served at or beyond L3",
+		Term{offRd, 1}, Term{l3Hit, -1}, Term{l3Miss, -1})
+	c.relation("offcore_l3_miss", 2e-3,
+		"OFFCORE demand-read L3 misses = retired load L3 misses",
+		Term{offL3Miss, 1}, Term{l3Miss, -1})
+
+	// Derived events (§2 "Errors in Derived Events", §6.2).
+	cyc := c.MustEvent("CPU_CLK_UNHALTED.THREAD")
+	c.derived("IPC", "instructions per core cycle",
+		[]EventID{inst, cyc},
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+	c.derived("L3_MPKI", "L3 misses per kilo-instruction",
+		[]EventID{l3Miss, inst},
+		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) })
+	c.derived("Branch_Misp_Rate", "mispredictions per retired branch",
+		[]EventID{misp, branches},
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+	c.derived("Backend_Bound", "fraction of cycle-slots stalled behind memory (top-down proxy: weighted L2/L3/DRAM load latency over total slots)",
+		[]EventID{l2Hit, l3Hit, l3Miss, cyc},
+		func(in []float64) float64 {
+			// Idealized latency weights: L2 12c, L3 44c, DRAM 200c,
+			// over 4-wide issue slots.
+			return safeDiv(12*in[0]+44*in[1]+200*in[2], 4*in[3])
+		})
+
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Power9 returns the catalog for an IBM Power9-like ppc64 core: 2 effectively
+// fixed counters (PMC5 counts completed instructions, PMC6 run cycles) and
+// 4 programmable counters, no auxiliary MSRs.
+func Power9() *Catalog {
+	c := newCatalog("ppc64-power9", 2, 4, 0)
+
+	inst := c.fixed("PM_INST_CMPL", 0, "completed instructions (PMC5)")
+	cyc := c.fixed("PM_RUN_CYC", 1, "run cycles (PMC6)")
+
+	loads := c.prog("PM_LD_CMPL", anyCtr(4), "completed load instructions")
+	stores := c.prog("PM_ST_CMPL", anyCtr(4), "completed store instructions")
+	branches := c.prog("PM_BR_CMPL", anyCtr(4), "completed branch instructions")
+	misp := c.prog("PM_BR_MPRED_CMPL", anyCtr(4), "completed mispredicted branches")
+	otherInst := c.prog("PM_INST_OTHER_CMPL", anyCtr(4), "completed instructions that are neither loads, stores nor branches")
+	l1Hit := c.prog("PM_LD_HIT_L1", anyCtr(4), "loads satisfied by the L1 data cache")
+	l1Miss := c.prog("PM_LD_MISS_L1", anyCtr(4), "loads that missed the L1 data cache")
+	fromL2 := c.prog("PM_DATA_FROM_L2", loCtr(3), "loads satisfied from the L2 cache")
+	fromL3 := c.prog("PM_DATA_FROM_L3", loCtr(3), "loads satisfied from the L3 cache")
+	fromMem := c.prog("PM_DATA_FROM_MEM", loCtr(3), "loads satisfied from local memory")
+
+	c.relation("inst_breakdown", 1e-3,
+		"PM_INST_CMPL = LD + ST + BR + OTHER",
+		Term{inst, 1}, Term{loads, -1}, Term{stores, -1}, Term{branches, -1}, Term{otherInst, -1})
+	c.relation("l1_load_flow", 1e-3,
+		"PM_LD_CMPL = PM_LD_HIT_L1 + PM_LD_MISS_L1",
+		Term{loads, 1}, Term{l1Hit, -1}, Term{l1Miss, -1})
+	c.relation("data_source_flow", 1e-3,
+		"PM_LD_MISS_L1 = FROM_L2 + FROM_L3 + FROM_MEM",
+		Term{l1Miss, 1}, Term{fromL2, -1}, Term{fromL3, -1}, Term{fromMem, -1})
+
+	c.derived("IPC", "instructions per run cycle",
+		[]EventID{inst, cyc},
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+	c.derived("DL1_MPKI", "L1D misses per kilo-instruction",
+		[]EventID{l1Miss, inst},
+		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) })
+	c.derived("Branch_Misp_Rate", "mispredictions per completed branch",
+		[]EventID{misp, branches},
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Catalogs returns every built-in catalog, in a stable order. New
+// architectures are added here so downstream layers (CLI, sweeps) pick them
+// up automatically.
+func Catalogs() []*Catalog {
+	return []*Catalog{Skylake(), Power9()}
+}

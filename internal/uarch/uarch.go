@@ -7,9 +7,9 @@
 //
 // The catalogs model an Intel Skylake-like x86_64 core and an IBM
 // Power9-like ppc64 core. Event semantics are grounded in a common set of
-// machine primitives (see internal/machine), so the invariants declared here
-// hold exactly in the simulated ground truth, just as the vendor-documented
-// relations hold on real silicon.
+// machine primitives (see internal/measure's workload generator), so the
+// invariants declared here hold exactly in the simulated ground truth, just
+// as the vendor-documented relations hold on real silicon.
 package uarch
 
 import (
@@ -240,6 +240,9 @@ func (c *Catalog) Validate() error {
 		}
 		if e.CounterMask == 0 {
 			return fmt.Errorf("uarch: %s: %s has empty counter mask", c.Arch, e.Name)
+		}
+		if e.NeedsMSR && c.NumMSR < 1 {
+			return fmt.Errorf("uarch: %s: %s needs an MSR but catalog has none", c.Arch, e.Name)
 		}
 		if e.CounterMask&^fullMask != 0 {
 			return fmt.Errorf("uarch: %s: %s mask %#x exceeds %d counters", c.Arch, e.Name, e.CounterMask, c.NumProg)

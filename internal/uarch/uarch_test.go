@@ -1,0 +1,290 @@
+package uarch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// validBase returns a minimal catalog that passes Validate, for the error
+// paths to perturb.
+func validBase() *Catalog {
+	c := newCatalog("test-arch", 1, 2, 0)
+	c.fixed("FIXED_A", 0, "")
+	c.prog("PROG_A", loCtr(2), "")
+	c.prog("PROG_B", oneCtr(1), "")
+	c.relation("rel", 1e-3, "", Term{0, 1}, Term{1, -1}, Term{2, -1})
+	return c
+}
+
+func TestValidateAcceptsBase(t *testing.T) {
+	if err := validBase().Validate(); err != nil {
+		t.Fatalf("base catalog invalid: %v", err)
+	}
+}
+
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Catalog)
+		want   string
+	}{
+		{
+			"duplicate fixed slot",
+			func(c *Catalog) { c.fixed("FIXED_B", 0, "") },
+			"fixed slot 0 claimed by both",
+		},
+		{
+			"fixed slot out of range",
+			func(c *Catalog) { c.fixed("FIXED_B", 7, "") },
+			"out of range",
+		},
+		{
+			"empty counter mask",
+			func(c *Catalog) { c.addEvent(Event{Name: "PROG_C"}) },
+			"empty counter mask",
+		},
+		{
+			"oversized counter mask",
+			func(c *Catalog) { c.prog("PROG_C", 1<<5, "") },
+			"exceeds 2 counters",
+		},
+		{
+			"MSR event without MSR budget",
+			func(c *Catalog) { c.progMSR("PROG_MSR", loCtr(2), "") },
+			"needs an MSR but catalog has none",
+		},
+		{
+			"relation with <2 terms",
+			func(c *Catalog) { c.relation("short", 1e-3, "", Term{0, 1}) },
+			"<2 terms",
+		},
+		{
+			"relation with non-positive tolerance",
+			func(c *Catalog) { c.relation("loose", 0, "", Term{0, 1}, Term{1, -1}) },
+			"non-positive tolerance",
+		},
+		{
+			"relation with unknown event",
+			func(c *Catalog) { c.relation("bad", 1e-3, "", Term{0, 1}, Term{99, -1}) },
+			"unknown event",
+		},
+		{
+			"relation with zero coefficient",
+			func(c *Catalog) { c.relation("zero", 1e-3, "", Term{0, 1}, Term{1, 0}) },
+			"zero coefficient",
+		},
+		{
+			"derived without formula",
+			func(c *Catalog) { c.Derived = append(c.Derived, Derived{Name: "d"}) },
+			"no formula",
+		},
+		{
+			"derived with unknown input",
+			func(c *Catalog) {
+				c.derived("d", "", []EventID{42}, func(in []float64) float64 { return 0 })
+			},
+			"unknown event",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validBase()
+			tc.mutate(c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted catalog with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLookupAndMustEvent(t *testing.T) {
+	c := Skylake()
+	if id := c.Lookup("INST_RETIRED.ANY"); id == InvalidEvent {
+		t.Error("Lookup failed for known event")
+	} else if c.Event(id).Name != "INST_RETIRED.ANY" {
+		t.Errorf("Lookup returned wrong event %q", c.Event(id).Name)
+	}
+	if id := c.Lookup("NO_SUCH_EVENT"); id != InvalidEvent {
+		t.Errorf("Lookup of unknown event returned %d", id)
+	}
+	if id := c.MustEvent("CPU_CLK_UNHALTED.THREAD"); c.Event(id).Name != "CPU_CLK_UNHALTED.THREAD" {
+		t.Error("MustEvent returned wrong event")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEvent of unknown event did not panic")
+		}
+	}()
+	c.MustEvent("NO_SUCH_EVENT")
+}
+
+func TestRelationsOf(t *testing.T) {
+	c := Skylake()
+	loads := c.MustEvent("MEM_INST_RETIRED.ALL_LOADS")
+	rels := c.RelationsOf(loads)
+	if len(rels) != 2 {
+		t.Fatalf("ALL_LOADS appears in %d relations, want 2", len(rels))
+	}
+	names := map[string]bool{}
+	for _, ri := range rels {
+		names[c.Rels[ri].Name] = true
+	}
+	if !names["retirement_breakdown"] || !names["l1_load_flow"] {
+		t.Errorf("RelationsOf(ALL_LOADS) = %v", names)
+	}
+	pend := c.MustEvent("L1D_PEND_MISS.PENDING")
+	if got := c.RelationsOf(pend); len(got) != 0 {
+		t.Errorf("L1D_PEND_MISS.PENDING in relations %v, want none", got)
+	}
+}
+
+// consistentSkylake fills an event vector from machine primitives so every
+// invariant should hold exactly.
+func consistentSkylake(c *Catalog) []float64 {
+	const (
+		loads, stores = 2.4e8, 1.1e8
+		misp, pred    = 4.0e6, 9.0e7
+		other         = 3.8e8
+		l2Hit, l3Hit  = 9.0e6, 2.0e6
+		l3Miss        = 5.0e5
+		cycles        = 7.0e8
+	)
+	branches := misp + pred
+	l1Miss := l2Hit + l3Hit + l3Miss
+	v := make([]float64, c.NumEvents())
+	set := func(name string, x float64) { v[c.MustEvent(name)] = x }
+	set("MEM_INST_RETIRED.ALL_LOADS", loads)
+	set("MEM_INST_RETIRED.ALL_STORES", stores)
+	set("BR_MISP_RETIRED.ALL_BRANCHES", misp)
+	set("BR_PRED_RETIRED.ALL_BRANCHES", pred)
+	set("BR_INST_RETIRED.ALL_BRANCHES", branches)
+	set("INST_RETIRED.OTHER", other)
+	set("INST_RETIRED.ANY", loads+stores+branches+other)
+	set("MEM_LOAD_RETIRED.L1_MISS", l1Miss)
+	set("MEM_LOAD_RETIRED.L1_HIT", loads-l1Miss)
+	set("MEM_LOAD_RETIRED.L2_HIT", l2Hit)
+	set("MEM_LOAD_RETIRED.L3_HIT", l3Hit)
+	set("MEM_LOAD_RETIRED.L3_MISS", l3Miss)
+	set("OFFCORE_RESPONSE.DEMAND_DATA_RD", l3Hit+l3Miss)
+	set("OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS", l3Miss)
+	set("CPU_CLK_UNHALTED.THREAD", cycles)
+	set("CPU_CLK_UNHALTED.REF_TSC", 0.94*cycles)
+	set("L1D_PEND_MISS.PENDING", 10*l1Miss)
+	return v
+}
+
+func consistentPower9(c *Catalog) []float64 {
+	const (
+		loads, stores  = 1.6e8, 7.0e7
+		misp, branches = 3.0e6, 6.0e7
+		other          = 2.1e8
+		fromL2, fromL3 = 6.0e6, 1.2e6
+		fromMem        = 4.0e5
+		cycles         = 4.5e8
+	)
+	l1Miss := fromL2 + fromL3 + fromMem
+	v := make([]float64, c.NumEvents())
+	set := func(name string, x float64) { v[c.MustEvent(name)] = x }
+	set("PM_LD_CMPL", loads)
+	set("PM_ST_CMPL", stores)
+	set("PM_BR_CMPL", branches)
+	set("PM_BR_MPRED_CMPL", misp)
+	set("PM_INST_OTHER_CMPL", other)
+	set("PM_INST_CMPL", loads+stores+branches+other)
+	set("PM_LD_MISS_L1", l1Miss)
+	set("PM_LD_HIT_L1", loads-l1Miss)
+	set("PM_DATA_FROM_L2", fromL2)
+	set("PM_DATA_FROM_L3", fromL3)
+	set("PM_DATA_FROM_MEM", fromMem)
+	set("PM_RUN_CYC", cycles)
+	return v
+}
+
+// TestCatalogInvariantsZeroResidual checks that both built-in catalogs'
+// invariants have zero residual on a consistent synthetic event vector.
+func TestCatalogInvariantsZeroResidual(t *testing.T) {
+	sky := Skylake()
+	p9 := Power9()
+	cases := []struct {
+		cat  *Catalog
+		vals []float64
+	}{
+		{sky, consistentSkylake(sky)},
+		{p9, consistentPower9(p9)},
+	}
+	for _, tc := range cases {
+		for _, r := range tc.cat.Rels {
+			res := math.Abs(r.Residual(tc.vals))
+			if res > 1e-9*math.Max(r.Magnitude(tc.vals), 1) {
+				t.Errorf("%s: relation %s residual %g on consistent vector",
+					tc.cat.Arch, r.Name, res)
+			}
+		}
+	}
+}
+
+func TestBuiltinCatalogsShape(t *testing.T) {
+	sky := Skylake()
+	if err := sky.Validate(); err != nil {
+		t.Errorf("Skylake invalid: %v", err)
+	}
+	if sky.NumFixed != 3 || sky.NumProg != 4 {
+		t.Errorf("Skylake counters = %d fixed/%d prog, want 3/4", sky.NumFixed, sky.NumProg)
+	}
+	if n := sky.NumEvents(); n < 12 {
+		t.Errorf("Skylake has %d events, want >= 12", n)
+	}
+	if n := len(sky.Rels); n < 5 {
+		t.Errorf("Skylake has %d invariants, want >= 5", n)
+	}
+	hasMSR := false
+	for _, e := range sky.Events {
+		if e.NeedsMSR {
+			hasMSR = true
+		}
+	}
+	if !hasMSR {
+		t.Error("Skylake has no off-core-response MSR events")
+	}
+	for _, name := range []string{"IPC", "L3_MPKI", "Backend_Bound"} {
+		if sky.DerivedByName(name) == nil {
+			t.Errorf("Skylake missing derived event %s", name)
+		}
+	}
+	if d := sky.DerivedByName("NOPE"); d != nil {
+		t.Errorf("DerivedByName(NOPE) = %v", d)
+	}
+
+	p9 := Power9()
+	if err := p9.Validate(); err != nil {
+		t.Errorf("Power9 invalid: %v", err)
+	}
+	if n := p9.NumEvents(); n < 8 {
+		t.Errorf("Power9 has %d events, want >= 8", n)
+	}
+	if n := len(p9.Rels); n < 3 {
+		t.Errorf("Power9 has %d invariants, want >= 3", n)
+	}
+
+	// Fixed + programmable partition covers every event in both catalogs.
+	for _, c := range Catalogs() {
+		if got := len(c.FixedEvents()) + len(c.ProgrammableEvents()); got != c.NumEvents() {
+			t.Errorf("%s: fixed+prog = %d, want %d", c.Arch, got, c.NumEvents())
+		}
+	}
+}
+
+func TestEvalDerived(t *testing.T) {
+	c := Skylake()
+	v := consistentSkylake(c)
+	ipc := c.EvalDerived(c.DerivedByName("IPC"), v)
+	want := v[c.MustEvent("INST_RETIRED.ANY")] / v[c.MustEvent("CPU_CLK_UNHALTED.THREAD")]
+	if math.Abs(ipc-want) > 1e-12 {
+		t.Errorf("IPC = %v, want %v", ipc, want)
+	}
+}
