@@ -10,6 +10,12 @@
 //
 //	bayesperf [-seed N] [-intervals N] [-noise F] [-maxiter N] [-tol F]
 //	          [-arch all|skylake|power9] [-q]
+//	bayesperf stream [flags]   (see cmd/bayesperf/stream.go)
+//
+// The bare command is the batch mode (whole-run totals, PR 1); the stream
+// subcommand is the online mode: sliding-window posterior inference over a
+// live multiplexed interval stream with DTW-aligned per-interval error
+// reporting and the adaptive-vs-round-robin multiplexing comparison.
 package main
 
 import (
@@ -56,6 +62,27 @@ type derivedReport struct {
 	Truth   float64
 	RawErr  float64
 	CorrErr float64
+}
+
+// selectCatalogs validates the flags shared by both modes and resolves the
+// -arch value, exiting with status 2 on bad input (prog prefixes the
+// message).
+func selectCatalogs(prog, arch string, intervals int) []*uarch.Catalog {
+	if intervals < 1 {
+		fmt.Fprintf(os.Stderr, "%s: -intervals must be >= 1 (got %d)\n", prog, intervals)
+		os.Exit(2)
+	}
+	switch strings.ToLower(arch) {
+	case "all":
+		return uarch.Catalogs()
+	case "skylake":
+		return []*uarch.Catalog{uarch.Skylake()}
+	case "power9":
+		return []*uarch.Catalog{uarch.Power9()}
+	}
+	fmt.Fprintf(os.Stderr, "%s: unknown -arch %q\n", prog, arch)
+	os.Exit(2)
+	return nil
 }
 
 // runCatalog executes generate → multiplex → infer → evaluate on one
@@ -153,6 +180,10 @@ func printReport(rep catalogReport, quiet bool) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		streamMain(os.Args[2:])
+		return
+	}
 	seed := flag.Uint64("seed", 42, "RNG seed (whole pipeline is deterministic per seed)")
 	intervals := flag.Int("intervals", 200, "sampling intervals per workload phase")
 	noise := flag.Float64("noise", 0.01, "relative per-interval measurement noise")
@@ -162,22 +193,7 @@ func main() {
 	quiet := flag.Bool("q", false, "only print per-catalog summary lines")
 	flag.Parse()
 
-	if *intervals < 1 {
-		fmt.Fprintf(os.Stderr, "bayesperf: -intervals must be >= 1 (got %d)\n", *intervals)
-		os.Exit(2)
-	}
-	var cats []*uarch.Catalog
-	switch strings.ToLower(*arch) {
-	case "all":
-		cats = uarch.Catalogs()
-	case "skylake":
-		cats = []*uarch.Catalog{uarch.Skylake()}
-	case "power9":
-		cats = []*uarch.Catalog{uarch.Power9()}
-	default:
-		fmt.Fprintf(os.Stderr, "bayesperf: unknown -arch %q\n", *arch)
-		os.Exit(2)
-	}
+	cats := selectCatalogs("bayesperf", *arch, *intervals)
 
 	wl := measure.DefaultWorkload(*intervals)
 	cfg := measure.DefaultMuxConfig()

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"testing"
+
+	"bayesperf/internal/measure"
+	"bayesperf/internal/stream"
+	"bayesperf/internal/uarch"
+)
+
+// TestStreamCLIImproves is the stream subcommand's literal acceptance
+// criterion at the CLI defaults (seed 42, 100 intervals/phase, 1% noise):
+// the corrected trace's DTW-aligned per-interval error is below the raw
+// multiplexed stream's on both catalogs, and the adaptive scheduler beats
+// round-robin on mean posterior relative std.
+func TestStreamCLIImproves(t *testing.T) {
+	wl := measure.DefaultWorkload(100)
+	cfg := stream.DefaultConfig().WithDefaults()
+	for _, cat := range uarch.Catalogs() {
+		rep, err := runStreamCatalog(cat, wl, cfg, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Arch, err)
+		}
+		if !rep.AllConverged {
+			t.Errorf("%s: some windows did not converge", cat.Arch)
+		}
+		if rep.CorrectedAligned >= rep.NaiveAligned {
+			t.Errorf("%s: corrected aligned error %.4f%% not below raw multiplexed %.4f%%",
+				cat.Arch, 100*rep.CorrectedAligned, 100*rep.NaiveAligned)
+		}
+		if rep.CorrectedAligned >= 1.02*rep.WindowedAligned {
+			t.Errorf("%s: corrected aligned error %.4f%% regresses windowed raw %.4f%%",
+				cat.Arch, 100*rep.CorrectedAligned, 100*rep.WindowedAligned)
+		}
+		if rep.AdPostStd >= rep.RRPostStd {
+			t.Errorf("%s: adaptive posterior rel std %.5f not below round-robin %.5f",
+				cat.Arch, rep.AdPostStd, rep.RRPostStd)
+		}
+		if rep.AdMoves == 0 {
+			t.Errorf("%s: adaptive scheduler never moved a slot", cat.Arch)
+		}
+	}
+}
+
+// TestStreamCLITotalsCrossCheck: summing the stream's corrected
+// per-interval series must land in the same accuracy regime as the batch
+// pipeline's totals (each stream window sees only a fraction of the run,
+// so some accuracy loss versus batch is expected — but bounded).
+func TestStreamCLITotalsCrossCheck(t *testing.T) {
+	wl := measure.DefaultWorkload(100)
+	cfg := stream.DefaultConfig().WithDefaults()
+	for _, cat := range uarch.Catalogs() {
+		rep, err := runStreamCatalog(cat, wl, cfg, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Arch, err)
+		}
+		if rep.StreamCorrTotals > 0.05 {
+			t.Errorf("%s: stream corrected totals error %.3f%% above 5%%",
+				cat.Arch, 100*rep.StreamCorrTotals)
+		}
+		if rep.StreamCorrTotals > 10*rep.BatchCorrTotals {
+			t.Errorf("%s: stream totals error %.3f%% more than 10x batch %.3f%%",
+				cat.Arch, 100*rep.StreamCorrTotals, 100*rep.BatchCorrTotals)
+		}
+	}
+}
+
+// TestStreamCLIGumbelFlag: with corrupted readings injected, the -gumbel
+// path must lower the corrected aligned error.
+func TestStreamCLIGumbelFlag(t *testing.T) {
+	wl := measure.DefaultWorkload(80)
+	cfg := stream.DefaultConfig().WithDefaults()
+	cfg.Mux.OutlierProb = 0.02
+	cfg.Mux.OutlierMag = 8
+
+	cat := uarch.Skylake()
+	plain, err := runStreamCatalog(cat, wl, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mux.GumbelReject = true
+	filtered, err := runStreamCatalog(cat, wl, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.CorrectedAligned >= plain.CorrectedAligned {
+		t.Errorf("gumbel rejection did not help: %.4f%% -> %.4f%%",
+			100*plain.CorrectedAligned, 100*filtered.CorrectedAligned)
+	}
+}

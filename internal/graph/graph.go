@@ -54,18 +54,45 @@ type observation struct {
 }
 
 // Graph is a Gaussian factor graph for one catalog. Build it once per
-// catalog, Observe each measured event, then Infer.
+// catalog, Observe each measured event, then Infer. Between inference runs
+// over the same catalog (e.g. successive stream windows), ClearObservations
+// resets the measurement factors while keeping every allocation — Build,
+// message and belief buffers — intact.
+//
+// A Graph is not safe for concurrent use: parallel EP engines each build
+// their own (see internal/stream's worker pool).
 type Graph struct {
-	cat *uarch.Catalog
-	obs []*observation // per event, nil when unobserved
+	cat      *uarch.Catalog
+	obs      []observation // per event, valid iff observed
+	observed []bool
+
+	// Scratch reused across Infer calls, sized at Build time.
+	unary  []natural
+	belief []natural
+	scaled []float64 // observed means / scale (0 if unobserved)
+	means  []float64
+	relVar []float64
+	msg    [][]natural
 }
 
 // Build creates an inference graph over the catalog's events and invariants.
 func Build(cat *uarch.Catalog) *Graph {
-	return &Graph{
-		cat: cat,
-		obs: make([]*observation, cat.NumEvents()),
+	nv := cat.NumEvents()
+	g := &Graph{
+		cat:      cat,
+		obs:      make([]observation, nv),
+		observed: make([]bool, nv),
+		unary:    make([]natural, nv),
+		belief:   make([]natural, nv),
+		scaled:   make([]float64, nv),
+		means:    make([]float64, nv),
+		relVar:   make([]float64, len(cat.Rels)),
+		msg:      make([][]natural, len(cat.Rels)),
 	}
+	for ri, r := range cat.Rels {
+		g.msg[ri] = make([]natural, len(r.Terms))
+	}
+	return g
 }
 
 // Catalog returns the catalog the graph was built over.
@@ -83,7 +110,18 @@ func (g *Graph) Observe(id uarch.EventID, mean, std float64) {
 		panic(fmt.Sprintf("graph: Observe(%s) with invalid mean=%v std=%v",
 			g.cat.Event(id).Name, mean, std))
 	}
-	g.obs[id] = &observation{mean: mean, std: std}
+	g.obs[id] = observation{mean: mean, std: std}
+	g.observed[id] = true
+}
+
+// ClearObservations detaches every measurement factor so the graph can be
+// re-observed for the next measurement window without reallocating any of
+// the graph's buffers. Invariant factors (which come from the catalog) are
+// unaffected.
+func (g *Graph) ClearObservations() {
+	for i := range g.observed {
+		g.observed[i] = false
+	}
 }
 
 // Result holds the posterior marginals after Infer, indexed by EventID.
@@ -109,8 +147,8 @@ func (g *Graph) Infer(maxIter int, tol float64) Result {
 
 	// Rescale the problem to O(1) so priors and tolerances are scale-free.
 	scale := 1.0
-	for _, o := range g.obs {
-		if o != nil && math.Abs(o.mean) > scale {
+	for i, o := range g.obs {
+		if g.observed[i] && math.Abs(o.mean) > scale {
 			scale = math.Abs(o.mean)
 		}
 	}
@@ -118,11 +156,12 @@ func (g *Graph) Infer(maxIter int, tol float64) Result {
 	// Fixed unary factors: weak proper prior plus the observation, in
 	// scaled units.
 	const priorPrec = 1e-12
-	unary := make([]natural, nv)
-	scaledMeans := make([]float64, nv) // observed means / scale (0 if unobserved)
+	unary := g.unary
+	scaledMeans := g.scaled
 	for i, o := range g.obs {
 		unary[i] = natural{prec: priorPrec}
-		if o != nil {
+		scaledMeans[i] = 0
+		if g.observed[i] {
 			m, s := o.mean/scale, o.std/scale
 			unary[i] = unary[i].add(fromMoments(m, s*s))
 			scaledMeans[i] = m
@@ -131,7 +170,7 @@ func (g *Graph) Infer(maxIter int, tol float64) Result {
 
 	// Relation factor noise: σ_r = RelTol · magnitude(observed means),
 	// floored so fully-unobserved relations still carry information.
-	relVar := make([]float64, len(rels))
+	relVar := g.relVar
 	for ri, r := range rels {
 		mag := r.Magnitude(scaledMeans)
 		if mag < 1e-6 {
@@ -143,14 +182,16 @@ func (g *Graph) Infer(maxIter int, tol float64) Result {
 
 	// msg[ri][k] is the message from relation ri to its k-th term's
 	// variable. Beliefs are maintained incrementally.
-	msg := make([][]natural, len(rels))
-	for ri, r := range rels {
-		msg[ri] = make([]natural, len(r.Terms))
+	msg := g.msg
+	for ri := range msg {
+		for k := range msg[ri] {
+			msg[ri][k] = natural{}
+		}
 	}
-	belief := make([]natural, nv)
+	belief := g.belief
 	copy(belief, unary)
 
-	means := make([]float64, nv)
+	means := g.means
 	for i := range means {
 		means[i], _ = belief[i].moments()
 	}

@@ -142,6 +142,52 @@ func TestInferTightensUncertainty(t *testing.T) {
 	}
 }
 
+// TestClearObservationsReuse is the graph-reuse contract the stream workers
+// rely on: clearing observations and re-observing must reproduce exactly
+// what a freshly built graph infers, with no cross-window leakage.
+func TestClearObservationsReuse(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	reused := Build(c)
+
+	r := rng.New(21)
+	for round := 0; round < 3; round++ {
+		fresh := Build(c)
+		reused.ClearObservations()
+		for id, want := range truth {
+			std := 0.02 * want
+			obs := r.Gaussian(want, std)
+			// Leave one event unobserved each round to exercise the
+			// observed-flag reset, a different one per round.
+			if id == round {
+				continue
+			}
+			fresh.Observe(uarch.EventID(id), obs, std)
+			reused.Observe(uarch.EventID(id), obs, std)
+		}
+		fr := fresh.Infer(200, 1e-9)
+		rr := reused.Infer(200, 1e-9)
+		for id := range truth {
+			if fr.Mean[id] != rr.Mean[id] || fr.Std[id] != rr.Std[id] {
+				t.Fatalf("round %d: reused graph diverged on event %d: mean %v vs %v, std %v vs %v",
+					round, id, rr.Mean[id], fr.Mean[id], rr.Std[id], fr.Std[id])
+			}
+		}
+		if fr.Iters != rr.Iters || fr.Converged != rr.Converged {
+			t.Fatalf("round %d: iteration trace diverged (%d/%v vs %d/%v)",
+				round, rr.Iters, rr.Converged, fr.Iters, fr.Converged)
+		}
+	}
+}
+
+// benchObserveAll observes every event with noisy values.
+func benchObserveAll(g *Graph, truth []float64, r *rng.Rand) {
+	for id, want := range truth {
+		std := 0.05 * want
+		g.Observe(uarch.EventID(id), r.Gaussian(want, std), std)
+	}
+}
+
 func BenchmarkInfer(b *testing.B) {
 	c := uarch.Skylake()
 	truth := skylakeTruth(c)
@@ -150,10 +196,27 @@ func BenchmarkInfer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := Build(c)
-		for id, want := range truth {
-			std := 0.05 * want
-			g.Observe(uarch.EventID(id), r.Gaussian(want, std), std)
+		benchObserveAll(g, truth, r)
+		res := g.Infer(100, 1e-8)
+		if math.IsNaN(res.Mean[0]) {
+			b.Fatal("NaN posterior")
 		}
+	}
+}
+
+// BenchmarkInferReuse measures the window-to-window hot path of the stream
+// workers: ClearObservations + re-Observe + Infer on a long-lived graph,
+// against BenchmarkInfer's build-per-window baseline.
+func BenchmarkInferReuse(b *testing.B) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	r := rng.New(3)
+	g := Build(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ClearObservations()
+		benchObserveAll(g, truth, r)
 		res := g.Infer(100, 1e-8)
 		if math.IsNaN(res.Mean[0]) {
 			b.Fatal("NaN posterior")

@@ -42,6 +42,46 @@ func TestGroundTruthSatisfiesInvariants(t *testing.T) {
 	}
 }
 
+// TestStreamWorkloadThrashPhase: the streaming stress workload keeps every
+// catalog invariant intact while making the cache-hierarchy events
+// materially spikier than the front-end stream during the thrash phase —
+// the asymmetry adaptive multiplexing exists to exploit.
+func TestStreamWorkloadThrashPhase(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := StreamWorkload(50)
+	if len(wl.Phases) != 4 || wl.Phases[3].MemJitter <= 1 {
+		t.Fatalf("unexpected stream workload shape: %+v", wl.Phases)
+	}
+	tr := GroundTruth(cat, wl, rng.New(6))
+	for ti := 0; ti < tr.Intervals(); ti++ {
+		vals := make([]float64, cat.NumEvents())
+		for id := range vals {
+			vals[id] = tr.Series[id][ti]
+		}
+		for _, rel := range cat.Rels {
+			if res := math.Abs(rel.Residual(vals)); res > 1e-6*math.Max(rel.Magnitude(vals), 1) {
+				t.Fatalf("relation %s residual %g at interval %d", rel.Name, res, ti)
+			}
+		}
+	}
+	// In the thrash phase the cache-hierarchy events must be far spikier
+	// than the front-end stream, and spikier than their own compute-phase
+	// behavior.
+	relSpread := func(name string, lo, hi int) float64 {
+		seg := tr.Series[cat.MustEvent(name)][lo:hi]
+		return stats.Std(seg) / stats.Mean(seg)
+	}
+	l3Thrash := relSpread("MEM_LOAD_RETIRED.L3_MISS", 150, 200)
+	loadsThrash := relSpread("MEM_INST_RETIRED.ALL_LOADS", 150, 200)
+	l3Compute := relSpread("MEM_LOAD_RETIRED.L3_MISS", 0, 50)
+	if l3Thrash < 3*loadsThrash {
+		t.Errorf("thrash L3-miss rel spread %.3f not at least 3x the load stream's %.3f", l3Thrash, loadsThrash)
+	}
+	if l3Thrash <= l3Compute {
+		t.Errorf("thrash L3-miss rel spread %.3f not above compute phase's %.3f", l3Thrash, l3Compute)
+	}
+}
+
 func TestScheduleGroupsRespectConstraints(t *testing.T) {
 	for _, cat := range uarch.Catalogs() {
 		groups := scheduleGroups(cat)
@@ -184,6 +224,258 @@ func TestMultiplexDeterminism(t *testing.T) {
 	for id := range a.Est {
 		if a.Est[id] != b.Est[id] {
 			t.Fatalf("estimates diverged for event %d", id)
+		}
+	}
+}
+
+// TestGumbelRejectionReducesError injects CounterMiner-style corrupted
+// readings and checks that turning on Gumbel rejection (a pure
+// post-processing step, so both runs see byte-identical samples) lowers the
+// mean relative estimation error.
+func TestGumbelRejectionReducesError(t *testing.T) {
+	for _, cat := range uarch.Catalogs() {
+		tr := GroundTruth(cat, DefaultWorkload(80), rng.New(13))
+		truth := tr.Totals()
+
+		cfg := DefaultMuxConfig()
+		cfg.OutlierProb = 0.02
+		cfg.OutlierMag = 8
+
+		plain := Multiplex(tr, cfg, rng.New(17))
+		cfg.GumbelReject = true
+		filtered := Multiplex(tr, cfg, rng.New(17))
+
+		var plainErr, filteredErr stats.Running
+		sawRejection := false
+		for id := range truth {
+			plainErr.Add(stats.RelErr(plain.Est[id].Total, truth[id], 1))
+			filteredErr.Add(stats.RelErr(filtered.Est[id].Total, truth[id], 1))
+			if plain.Est[id].Rejected != 0 {
+				t.Errorf("%s: rejection reported with GumbelReject off", cat.Arch)
+			}
+			if filtered.Est[id].Rejected > 0 {
+				sawRejection = true
+			}
+			// Coverage bookkeeping counts counted intervals, not kept ones.
+			if filtered.Est[id].N != plain.Est[id].N {
+				t.Errorf("%s: event %d counted-interval count changed under rejection", cat.Arch, id)
+			}
+		}
+		if !sawRejection {
+			t.Fatalf("%s: outlier injection produced no rejections", cat.Arch)
+		}
+		if filteredErr.Mean() >= plainErr.Mean() {
+			t.Errorf("%s: Gumbel rejection raised mean error: %.4f%% -> %.4f%%",
+				cat.Arch, 100*plainErr.Mean(), 100*filteredErr.Mean())
+		}
+	}
+}
+
+// TestSamplerMatchesMultiplexLiveness: the streaming sampler under a
+// round-robin scheduler must reproduce exactly the liveness pattern the
+// batch simulator uses (group g live at t ≡ g mod numGroups), with fixed
+// events present in every interval.
+func TestSamplerMatchesMultiplexLiveness(t *testing.T) {
+	cat := uarch.Skylake()
+	tr := GroundTruth(cat, DefaultWorkload(20), rng.New(3))
+	sched := NewRoundRobin(cat)
+	numGroups := len(sched.Groups())
+	smp := NewSampler(tr, DefaultMuxConfig(), sched, rng.New(4))
+
+	fixed := make(map[uarch.EventID]bool)
+	for _, id := range cat.FixedEvents() {
+		fixed[id] = true
+	}
+	seen := 0
+	for {
+		s, ok := smp.Next()
+		if !ok {
+			break
+		}
+		if s.T != seen {
+			t.Fatalf("interval %d reported as T=%d", seen, s.T)
+		}
+		if s.Group != seen%numGroups {
+			t.Fatalf("interval %d: live group %d, want %d", seen, s.Group, seen%numGroups)
+		}
+		if len(s.Events) != len(s.Values) {
+			t.Fatalf("interval %d: %d events, %d values", seen, len(s.Events), len(s.Values))
+		}
+		got := make(map[uarch.EventID]bool)
+		for i, id := range s.Events {
+			got[id] = true
+			if s.Values[i] < 0 || math.IsNaN(s.Values[i]) {
+				t.Fatalf("interval %d: event %s value %v", seen, cat.Event(id).Name, s.Values[i])
+			}
+		}
+		for id := range fixed {
+			if !got[id] {
+				t.Fatalf("interval %d: fixed event %s not counted", seen, cat.Event(id).Name)
+			}
+		}
+		for _, id := range sched.Groups()[s.Group] {
+			if !got[id] {
+				t.Fatalf("interval %d: live-group event %s not counted", seen, cat.Event(id).Name)
+			}
+		}
+		if len(got) != len(fixed)+len(sched.Groups()[s.Group]) {
+			t.Fatalf("interval %d: unexpected extra events counted", seen)
+		}
+		seen++
+	}
+	if seen != tr.Intervals() {
+		t.Fatalf("sampler emitted %d intervals, want %d", seen, tr.Intervals())
+	}
+}
+
+// TestAdaptiveSchedulerPlan checks the slot-allocation mechanics: before
+// feedback the plan is round-robin; after feedback the most uncertain group
+// gains slots, no group starves, and the plan length equals the epoch.
+func TestAdaptiveSchedulerPlan(t *testing.T) {
+	cat := uarch.Skylake()
+	if a := NewAdaptive(cat, 0); a.EpochLen() != 4*len(a.Groups()) {
+		t.Fatalf("default epoch = %d, want %d", a.EpochLen(), 4*len(a.Groups()))
+	}
+	// Use an epoch with slack above the 5-slot floor so the descent has
+	// somewhere to move slots.
+	a := NewAdaptive(cat, 32)
+	ng := len(a.Groups())
+	for i := 0; i < 2*ng; i++ {
+		if g := a.NextGroup(); g != i%ng {
+			t.Fatalf("pre-feedback slot %d = group %d, want round-robin %d", i, g, i%ng)
+		}
+	}
+
+	// Posterior feedback: all events certain except group 0's events,
+	// every event fully driven by its own observation (obsStd == std).
+	mean := make([]float64, cat.NumEvents())
+	std := make([]float64, cat.NumEvents())
+	for id := range mean {
+		mean[id] = 1e6
+		std[id] = 1e3 // 0.1% relative
+	}
+	for _, id := range a.Groups()[0] {
+		std[id] = 2e5 // 20% relative: group 0 is starving for slots
+	}
+	// One slot moves per epoch; feed the same gradient until it flattens
+	// (every donor at the 2-slot floor).
+	for i := 0; i < 3*a.EpochLen(); i++ {
+		a.Reprioritize(mean, std, std)
+	}
+	if a.Reprioritizations() != 3*a.EpochLen() {
+		t.Fatalf("reprioritizations = %d, want %d", a.Reprioritizations(), 3*a.EpochLen())
+	}
+	if a.Moves() == 0 {
+		t.Fatal("gradient descent never moved a slot")
+	}
+
+	counts := make([]int, ng)
+	for i := 0; i < a.EpochLen(); i++ {
+		counts[a.NextGroup()]++
+	}
+	totalSlots := 0
+	for gi, c := range counts {
+		totalSlots += c
+		if c < 5 {
+			t.Errorf("group %d starved to %d slots (floor is 5)", gi, c)
+		}
+		if gi != 0 && c >= counts[0] {
+			t.Errorf("group %d got %d slots, not fewer than uncertain group 0's %d", gi, c, counts[0])
+		}
+	}
+	if totalSlots != a.EpochLen() {
+		t.Errorf("plan length %d != epoch %d", totalSlots, a.EpochLen())
+	}
+	// With one group vastly more uncertain, the descent converges to it
+	// holding every slot above the others' 5-slot floor.
+	if counts[0] != a.EpochLen()-5*(ng-1) {
+		t.Errorf("uncertain group got %d slots, want %d", counts[0], a.EpochLen()-5*(ng-1))
+	}
+}
+
+// TestAdaptiveSchedulerUniformWhenEqual: equal uncertainties must leave
+// the round-robin allocation untouched (flat gradient, hysteresis holds).
+func TestAdaptiveSchedulerUniformWhenEqual(t *testing.T) {
+	cat := uarch.Skylake()
+	a := NewAdaptive(cat, 0)
+	ng := len(a.Groups())
+	mean := make([]float64, cat.NumEvents())
+	std := make([]float64, cat.NumEvents())
+	for id := range mean {
+		mean[id] = 1e6
+		std[id] = 5e4
+	}
+	for i := 0; i < 10; i++ {
+		a.Reprioritize(mean, std, std)
+	}
+	if a.Moves() != 0 {
+		t.Errorf("equal uncertainty moved %d slots, want 0", a.Moves())
+	}
+	counts := make([]int, ng)
+	for i := 0; i < a.EpochLen(); i++ {
+		counts[a.NextGroup()]++
+	}
+	want := a.EpochLen() / ng
+	for gi, c := range counts {
+		if c != want {
+			t.Errorf("group %d got %d slots under equal uncertainty, want %d (counts %v)",
+				gi, c, want, counts)
+		}
+	}
+}
+
+// TestAdaptiveSchedulerIgnoresCoupledEvents: an event whose posterior is
+// already pinned by the invariant network (posterior std far below its
+// observation std) must not attract slots, however uncertain its raw
+// observations are.
+func TestAdaptiveSchedulerIgnoresCoupledEvents(t *testing.T) {
+	cat := uarch.Skylake()
+	a := NewAdaptive(cat, 0)
+	mean := make([]float64, cat.NumEvents())
+	std := make([]float64, cat.NumEvents())
+	obsStd := make([]float64, cat.NumEvents())
+	for id := range mean {
+		mean[id] = 1e6
+		std[id] = 1e3
+		obsStd[id] = 1e3
+	}
+	// Group 1's events look wildly uncertain at the observation level but
+	// the invariants have already nailed their posteriors: sensitivity
+	// ρ = (std/obsStd)² ≈ 2.5e-5, so no gradient toward group 1.
+	for _, id := range a.Groups()[1] {
+		obsStd[id] = 2e5
+	}
+	for i := 0; i < 10; i++ {
+		a.Reprioritize(mean, std, obsStd)
+	}
+	counts := make([]int, len(a.Groups()))
+	for i := 0; i < a.EpochLen(); i++ {
+		counts[a.NextGroup()]++
+	}
+	if counts[1] > a.EpochLen()/len(a.Groups()) {
+		t.Errorf("coupled group 1 attracted slots: %v", counts)
+	}
+}
+
+// TestInterleaveSpreadsSlots: smooth weighted round-robin must emit each
+// group exactly its slot count and never bunch a starved group's single
+// slot against another of its own.
+func TestInterleaveSpreadsSlots(t *testing.T) {
+	slots := []int{4, 1, 1, 2}
+	plan := interleave(slots, nil)
+	if len(plan) != 8 {
+		t.Fatalf("plan length %d, want 8", len(plan))
+	}
+	counts := make([]int, len(slots))
+	for i, g := range plan {
+		counts[g]++
+		if i > 0 && plan[i-1] == g && slots[g] < len(plan)/2 {
+			t.Errorf("minority group %d emitted twice in a row at %d (plan %v)", g, i, plan)
+		}
+	}
+	for gi, want := range slots {
+		if counts[gi] != want {
+			t.Errorf("group %d emitted %d times, want %d (plan %v)", gi, counts[gi], want, slots)
 		}
 	}
 }

@@ -19,11 +19,39 @@ type MuxConfig struct {
 	// of its magnitude, so a phase-free event never reports zero
 	// uncertainty.
 	StdFloorFrac float64
+	// OutlierProb injects CounterMiner-style corrupted readings: each
+	// counted value is, with this probability, inflated by OutlierMag× (an
+	// interrupt storm or SMI landing inside the sampling interval). Zero
+	// disables injection.
+	OutlierProb float64
+	// OutlierMag is the relative magnitude of an injected outlier: a
+	// corrupted reading becomes value·(1+OutlierMag).
+	OutlierMag float64
+	// GumbelReject filters counted samples with the Gumbel high-side
+	// outlier test (stats.GumbelFilterMax) before mean/std estimation,
+	// as CounterMiner does (Lv et al., MICRO'18).
+	GumbelReject bool
+	// GumbelQ is the Gumbel quantile above which a sample is rejected;
+	// zero means DefaultGumbelQ.
+	GumbelQ float64
+}
+
+// DefaultGumbelQ is the rejection quantile used when MuxConfig.GumbelQ is
+// unset: CounterMiner's "well above the expected maximum" threshold.
+const DefaultGumbelQ = 0.995
+
+// RejectQuantile returns the effective Gumbel rejection quantile (GumbelQ,
+// or DefaultGumbelQ when unset).
+func (c MuxConfig) RejectQuantile() float64 {
+	if c.GumbelQ > 0 {
+		return c.GumbelQ
+	}
+	return DefaultGumbelQ
 }
 
 // DefaultMuxConfig matches the noise regime of the paper's perf-stat runs.
 func DefaultMuxConfig() MuxConfig {
-	return MuxConfig{NoiseFrac: 0.01, StdFloorFrac: 1e-4}
+	return MuxConfig{NoiseFrac: 0.01, StdFloorFrac: 1e-4, GumbelQ: DefaultGumbelQ}
 }
 
 // Sample is one event's multiplexed estimate: the scaled (extrapolated)
@@ -37,6 +65,9 @@ type Sample struct {
 	Total float64
 	Std   float64
 	N     int
+	// Rejected counts samples dropped by the Gumbel outlier filter
+	// (always 0 unless MuxConfig.GumbelReject).
+	Rejected int
 }
 
 // MuxResult is the output of one simulated multiplexed run.
@@ -158,6 +189,15 @@ func extrapolationStd(xs []float64, intervals int) float64 {
 		ssd += d * d
 	}
 	spread := math.Sqrt(ssd / (2 * float64(n-1)))
+	return TObsStd(spread, n, intervals)
+}
+
+// TObsStd converts a per-interval sample spread into the §4.2 Student-t
+// observation std of the inverse-coverage extrapolated total:
+// std = (spread/√n) · √(ν/(ν−2)) · intervals with ν = n−1. It is shared by
+// the whole-run simulator and the stream layer's sliding windows so both
+// observation models agree. n must be ≥ 2 (a single sample has no spread).
+func TObsStd(spread float64, n, intervals int) float64 {
 	nu := float64(n - 1)
 	tFactor := stats.StudentTStdFactor(nu)
 	if math.IsInf(tFactor, 1) {
@@ -203,15 +243,23 @@ func Multiplex(tr *Trace, cfg MuxConfig, r *rng.Rand) *MuxResult {
 			if noisy < 0 {
 				noisy = 0
 			}
+			if cfg.OutlierProb > 0 && r.Float64() < cfg.OutlierProb {
+				noisy *= 1 + cfg.OutlierMag
+			}
 			xs = append(xs, noisy)
 		}
-		n := len(xs)
-		if n == 0 {
+		counted := len(xs)
+		if counted == 0 {
 			// The run ended before this event's group ever went live
 			// (fewer intervals than groups): no estimate at all.
 			res.Est[id] = Sample{}
 			continue
 		}
+		rejected := 0
+		if cfg.GumbelReject {
+			xs, rejected = stats.GumbelFilterMax(xs, cfg.RejectQuantile())
+		}
+		n := len(xs)
 		meanRate := stats.Mean(xs)
 		total := meanRate * float64(intervals)
 
@@ -236,7 +284,7 @@ func Multiplex(tr *Trace, cfg MuxConfig, r *rng.Rand) *MuxResult {
 		if std == 0 {
 			std = 1 // all-zero event: unit count uncertainty
 		}
-		res.Est[id] = Sample{Total: total, Std: std, N: n}
+		res.Est[id] = Sample{Total: total, Std: std, N: counted, Rejected: rejected}
 	}
 	return res
 }

@@ -33,6 +33,20 @@ type Phase struct {
 
 	BaseCPI float64 // cycles per instruction before memory penalties
 	Jitter  float64 // relative per-interval noise on the phase rates
+	// MemJitter multiplies Jitter for the cache-hierarchy draws (L1 miss
+	// rate and L2/L3 hit fractions). Zero means 1 (uniform jitter). A
+	// thrashing working set makes cache events far spikier than the
+	// front-end stream — the asymmetry that uncertainty-driven
+	// multiplexing exploits.
+	MemJitter float64
+}
+
+// memJitter returns the effective cache-hierarchy jitter.
+func (p Phase) memJitter() float64 {
+	if p.MemJitter <= 0 {
+		return p.Jitter
+	}
+	return p.Jitter * p.MemJitter
 }
 
 // Workload is a named sequence of phases.
@@ -79,6 +93,27 @@ func DefaultWorkload(intervalsPerPhase int) Workload {
 	}
 }
 
+// StreamWorkload is a stress workload for the streaming layer: the three
+// default phases plus a cache-thrash phase whose working set no longer
+// fits — cache-hierarchy rates stay high AND swing hard interval to
+// interval (MemJitter), so measurement uncertainty concentrates in the
+// cache event groups. The headline stream evaluation runs on
+// DefaultWorkload (the thrash phase's wild per-interval swings make the
+// DTW metric over-forgive a spiky raw trace); this one exists to validate
+// the asymmetric-uncertainty regime itself — see
+// TestStreamWorkloadThrashPhase.
+func StreamWorkload(intervalsPerPhase int) Workload {
+	wl := DefaultWorkload(intervalsPerPhase)
+	wl.Name = "compute-memory-branchy-thrash"
+	wl.Phases = append(wl.Phases, Phase{
+		Name: "thrash", Intervals: intervalsPerPhase, InstRate: 1.5e6,
+		LoadFrac: 0.42, StoreFrac: 0.16, BranchFrac: 0.07, MispRate: 0.03,
+		L1MissRate: 0.25, L2HitFrac: 0.40, L3HitFrac: 0.35,
+		BaseCPI: 0.50, Jitter: 0.05, MemJitter: 6,
+	})
+	return wl
+}
+
 // primitives are the machine-level quantities of one sampling interval from
 // which every catalog event derives; building events from shared primitives
 // is what makes the declared invariants hold exactly in the ground truth.
@@ -108,11 +143,12 @@ func drawPrimitives(p Phase, r *rng.Rand) primitives {
 	pr.other = pr.inst - pr.loads - pr.stores - pr.branches
 	pr.misp = jittered(r, p.MispRate, p.Jitter) * pr.branches
 
-	pr.l1Miss = jittered(r, p.L1MissRate, p.Jitter) * pr.loads
+	mj := p.memJitter()
+	pr.l1Miss = jittered(r, p.L1MissRate, mj) * pr.loads
 	pr.l1Hit = pr.loads - pr.l1Miss
-	pr.l2Hit = jittered(r, p.L2HitFrac, p.Jitter) * pr.l1Miss
+	pr.l2Hit = jittered(r, p.L2HitFrac, mj) * pr.l1Miss
 	rest := pr.l1Miss - pr.l2Hit
-	pr.l3Hit = jittered(r, p.L3HitFrac, p.Jitter) * rest
+	pr.l3Hit = jittered(r, p.L3HitFrac, mj) * rest
 	pr.l3Miss = rest - pr.l3Hit
 
 	// Cycle model: base CPI plus idealized memory latencies (matching the

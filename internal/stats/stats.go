@@ -313,13 +313,55 @@ func GumbelQuantile(q, mu, beta float64) float64 {
 	return mu - beta*math.Log(-math.Log(q))
 }
 
-// GumbelFitMoments fits Gumbel location/scale from a sample via the method
-// of moments: beta = s·√6/π, mu = mean − γ·beta (γ is Euler–Mascheroni).
-func GumbelFitMoments(xs []float64) (mu, beta float64) {
+// GumbelFitFromMoments converts a sample mean and std into Gumbel
+// location/scale by the method of moments: beta = s·√6/π,
+// mu = mean − γ·beta (γ is Euler–Mascheroni). Callers that maintain
+// running moments (e.g. the stream layer's window rings) can fit in O(1).
+func GumbelFitFromMoments(mean, std float64) (mu, beta float64) {
 	const eulerGamma = 0.5772156649015329
-	beta = Std(xs) * math.Sqrt(6) / math.Pi
-	mu = Mean(xs) - eulerGamma*beta
+	beta = std * math.Sqrt(6) / math.Pi
+	mu = mean - eulerGamma*beta
 	return mu, beta
+}
+
+// GumbelFitMoments fits Gumbel location/scale from a sample via the method
+// of moments.
+func GumbelFitMoments(xs []float64) (mu, beta float64) {
+	return GumbelFitFromMoments(Mean(xs), Std(xs))
+}
+
+// GumbelFilterMax applies CounterMiner's high-side outlier test to a sample
+// of per-interval counter readings: fit Gumbel(mu, beta) by moments, then
+// reject every reading above the q-quantile of the fitted law (a reading
+// that extreme among n i.i.d. samples indicates OS interference or counter
+// corruption rather than workload behavior). It returns the surviving
+// readings in their original order and the number rejected; when nothing is
+// rejected, the input slice itself is returned. Samples too small to fit
+// (n < 4) and degenerate q are passed through untouched.
+func GumbelFilterMax(xs []float64, q float64) (kept []float64, rejected int) {
+	if len(xs) < 4 || q <= 0 || q >= 1 {
+		return xs, 0
+	}
+	mu, beta := GumbelFitMoments(xs)
+	if beta <= 0 { // constant sample: nothing can be an outlier
+		return xs, 0
+	}
+	thr := GumbelQuantile(q, mu, beta)
+	for _, x := range xs {
+		if x > thr {
+			rejected++
+		}
+	}
+	if rejected == 0 || rejected == len(xs) {
+		return xs, 0
+	}
+	kept = make([]float64, 0, len(xs)-rejected)
+	for _, x := range xs {
+		if x <= thr {
+			kept = append(kept, x)
+		}
+	}
+	return kept, rejected
 }
 
 // --- Regularized incomplete beta (for the t CDF) ---

@@ -230,6 +230,54 @@ func TestGumbelFitMoments(t *testing.T) {
 	}
 }
 
+func TestGumbelFilterMax(t *testing.T) {
+	// A well-behaved Gaussian sample with two injected spikes: the filter
+	// must drop the spikes and only the spikes.
+	r := rng.New(4)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Gaussian(1000, 30)
+	}
+	xs[17] *= 8
+	xs[140] *= 6
+	kept, rejected := GumbelFilterMax(xs, 0.995)
+	if rejected != 2 {
+		t.Fatalf("rejected %d samples, want 2", rejected)
+	}
+	if len(kept) != len(xs)-2 {
+		t.Fatalf("kept %d of %d", len(kept), len(xs))
+	}
+	for _, x := range kept {
+		if x > 5000 {
+			t.Errorf("spike %v survived the filter", x)
+		}
+	}
+	// Order is preserved.
+	if kept[0] != xs[0] || kept[16] != xs[16] || kept[17] != xs[18] {
+		t.Error("filter reordered the surviving samples")
+	}
+}
+
+func TestGumbelFilterMaxPassThrough(t *testing.T) {
+	clean := []float64{10, 11, 9, 10.5, 9.5, 10.2, 9.8, 10.1}
+	kept, rejected := GumbelFilterMax(clean, 0.995)
+	if rejected != 0 || &kept[0] != &clean[0] {
+		t.Errorf("clean sample was filtered (rejected=%d)", rejected)
+	}
+	// Tiny samples and degenerate quantiles pass through untouched.
+	tiny := []float64{1, 100, 1}
+	if kept, rejected = GumbelFilterMax(tiny, 0.995); rejected != 0 || len(kept) != 3 {
+		t.Error("n<4 sample was filtered")
+	}
+	if _, rejected = GumbelFilterMax(clean, 0); rejected != 0 {
+		t.Error("q=0 filtered")
+	}
+	constant := []float64{5, 5, 5, 5, 5, 5}
+	if _, rejected = GumbelFilterMax(constant, 0.9); rejected != 0 {
+		t.Error("constant sample was filtered")
+	}
+}
+
 func TestRegIncBetaBounds(t *testing.T) {
 	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
 		t.Error("I_0 or I_1 wrong")

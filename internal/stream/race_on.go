@@ -1,0 +1,7 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under -race, where instrumentation skews ratios.
+const raceEnabled = true

@@ -1,0 +1,584 @@
+// Package stream implements BayesPerf's online deployment mode (§5 of the
+// paper): instead of correcting whole-run totals after the fact, it
+// consumes a live interval stream of multiplexed counter samples and emits
+// a continuous per-interval posterior series (mean ± std per event).
+//
+// The engine slides a Window accumulator over the stream; every hop it
+// snapshots the window's observations (scaled totals plus incrementally
+// re-derived Student-t stds) and fans the snapshot out to a pool of
+// workers, each owning one reusable graph.Graph EP engine. Posteriors come
+// back asynchronously, are re-ordered, and overlapping windows are stitched
+// into one corrected trace by precision weighting. The posterior
+// uncertainty also closes the measurement loop: a
+// measure.AdaptiveScheduler fed the epoch-averaged posterior
+// (EpochPosterior) re-prioritizes the multiplexing groups each epoch,
+// replacing pure round-robin.
+package stream
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"bayesperf/internal/graph"
+	"bayesperf/internal/measure"
+	"bayesperf/internal/rng"
+	"bayesperf/internal/stats"
+	"bayesperf/internal/timeseries"
+	"bayesperf/internal/uarch"
+)
+
+// Config controls the streaming engine.
+type Config struct {
+	// Window is the number of intervals per inference window.
+	Window int
+	// Hop is the stride between consecutive window starts; hop < window
+	// makes the windows overlap and the stitched trace smoother.
+	Hop int
+	// Workers is the number of parallel EP engines (0 = all cores, capped
+	// at 8 — windows are small, so more engines stop paying off).
+	Workers int
+	// MaxIter and Tol are passed to graph.Infer per window.
+	MaxIter int
+	Tol     float64
+	// Mux carries the observation model shared with the measurement layer:
+	// noise level, std floors, and the Gumbel rejection switches.
+	Mux measure.MuxConfig
+	// SizeHint presizes the per-interval accumulators when the stream
+	// length is known up front (0 = unknown, grow on demand).
+	SizeHint int
+}
+
+// DefaultConfig returns the evaluation defaults: 24-interval windows
+// sliding by 4. The window length balances two pressures — much larger
+// windows smear phase boundaries and lose per-interval accuracy faster
+// than their extra samples pay back, while shorter ones pin every group's
+// per-window sample count to the Student-t finite-variance floor and
+// leave the adaptive scheduler no slack to reallocate.
+func DefaultConfig() Config {
+	return Config{
+		Window:  24,
+		Hop:     4,
+		MaxIter: 500,
+		Tol:     1e-9,
+		Mux:     measure.DefaultMuxConfig(),
+	}
+}
+
+// WithDefaults fills zero fields and clamps inconsistent ones; NewEngine
+// applies it automatically, callers only need it to display the resolved
+// configuration.
+func (c Config) WithDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 24
+	}
+	if c.Hop <= 0 {
+		c.Hop = 4
+	}
+	if c.Hop > c.Window {
+		c.Hop = c.Window // a hop past the window would leave coverage gaps
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 500
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-9
+	}
+	return c
+}
+
+// WindowPosterior is one window's inference output: posterior mean and std
+// of every event's window total, plus the echoed observation model so the
+// stitcher can weight raw and corrected series identically.
+type WindowPosterior struct {
+	Index      int
+	Start, End int
+	Mean, Std  []float64
+	ObsStd     []float64
+	Disp       []float64
+	Observed   []bool
+	Iters      int
+	Converged  bool
+}
+
+// Result is the outcome of one streamed run.
+type Result struct {
+	Intervals int
+	Windows   int
+	// Corrected and CorrectedStd are the stitched per-interval posterior
+	// series (rates per interval), indexed by EventID.
+	Corrected    []timeseries.Series
+	CorrectedStd []timeseries.Series
+	// WindowedRaw is the same sliding-window estimate without inference:
+	// what window smoothing alone buys.
+	WindowedRaw []timeseries.Series
+	// NaiveRaw is the live multiplexed baseline: per interval, each
+	// event's most recent counted sample (sample-and-hold extrapolation).
+	NaiveRaw []timeseries.Series
+	// PostRelStd pools each window's posterior relative std over all
+	// events — the uncertainty metric the adaptive scheduler minimizes.
+	PostRelStd stats.Running
+	// InferIters pools per-window message-passing sweep counts, reduced
+	// across the worker pool via stats.Running.Merge.
+	InferIters stats.Running
+	// AllConverged reports whether every window's inference converged.
+	AllConverged bool
+	// Reprioritizations counts adaptive slot-plan rebuilds (0 under
+	// round-robin).
+	Reprioritizations int
+}
+
+// Engine is the streaming correction pipeline. Feed it intervals with
+// Ingest, optionally Flush at epoch boundaries to read back the
+// epoch-averaged posterior, then Finish to drain the pool and collect the
+// stitched trace.
+// An Engine is single-producer: Ingest/Flush/Finish must come from one
+// goroutine (the worker pool parallelism is internal).
+type Engine struct {
+	cat *uarch.Catalog
+	cfg Config
+
+	win         *Window
+	ingested    int
+	lastEmitEnd int
+	nextIdx     int
+	pending     int
+
+	jobs    chan windowJob
+	results chan WindowPosterior
+	wg      sync.WaitGroup
+
+	// Out-of-order posteriors park here until their index is next; all
+	// stitching happens in index order so results are bit-identical for
+	// any worker count.
+	parked   map[int]WindowPosterior
+	stitched int
+
+	// Per-event stitch accumulators, grown one slot per interval. The
+	// stitched estimate at an interval is the inverse-variance fusion of
+	// every covering window's estimate plus — when the event was live that
+	// interval — the counted sample itself, whose per-interval noise
+	// precision dwarfs any window's rate precision. Live fusion is what
+	// keeps fully counted events at sample resolution instead of window
+	// resolution; it applies identically to the raw and corrected series,
+	// so their difference isolates the inference layer.
+	corrNum [][]float64 // Σ w·posteriorRate over covering windows
+	corrDen [][]float64 // Σ w
+	stdNum  [][]float64 // Σ w·posteriorRateStd
+	rawNum  [][]float64 // Σ w·observedRate
+	rawDen  [][]float64
+	liveNum [][]float64 // wv·sample at counted intervals (0 elsewhere)
+	liveDen [][]float64
+	liveStd [][]float64 // wv·sampleStd
+	naive   [][]float64
+	lastVal []float64
+	firstT  []int // first interval each event was counted (-1 if never)
+
+	postRelStd  stats.Running
+	workerIters []stats.Running
+	converged   bool
+	tri         []float64 // per-window triangular kernel scratch
+
+	// Epoch feedback accumulators: per-event posterior (and observation)
+	// sums over the windows stitched since the last EpochPosterior call.
+	// Averaging a whole epoch's windows gives the adaptive scheduler a far
+	// less noisy urgency signal than any single window.
+	epochMean   []float64
+	epochStd    []float64
+	epochObsStd []float64
+	epochObsN   []int
+	epochN      int
+}
+
+// NewEngine starts a streaming engine (and its worker pool) over the
+// catalog.
+func NewEngine(cat *uarch.Catalog, cfg Config) *Engine {
+	cfg = cfg.WithDefaults()
+	ne := cat.NumEvents()
+	e := &Engine{
+		cat:         cat,
+		cfg:         cfg,
+		win:         NewWindow(cat, cfg.Window),
+		jobs:        make(chan windowJob, 2*cfg.Workers),
+		results:     make(chan WindowPosterior, 4*cfg.Workers),
+		parked:      make(map[int]WindowPosterior),
+		corrNum:     make([][]float64, ne),
+		corrDen:     make([][]float64, ne),
+		stdNum:      make([][]float64, ne),
+		rawNum:      make([][]float64, ne),
+		rawDen:      make([][]float64, ne),
+		liveNum:     make([][]float64, ne),
+		liveDen:     make([][]float64, ne),
+		liveStd:     make([][]float64, ne),
+		naive:       make([][]float64, ne),
+		lastVal:     make([]float64, ne),
+		firstT:      make([]int, ne),
+		epochMean:   make([]float64, ne),
+		epochStd:    make([]float64, ne),
+		epochObsStd: make([]float64, ne),
+		epochObsN:   make([]int, ne),
+		workerIters: make([]stats.Running, cfg.Workers),
+		converged:   true,
+	}
+	for id := range e.firstT {
+		e.firstT[id] = -1
+	}
+	if cfg.SizeHint > 0 {
+		for id := 0; id < ne; id++ {
+			for _, arr := range []*[]float64{
+				&e.corrNum[id], &e.corrDen[id], &e.stdNum[id],
+				&e.rawNum[id], &e.rawDen[id],
+				&e.liveNum[id], &e.liveDen[id], &e.liveStd[id],
+				&e.naive[id],
+			} {
+				*arr = make([]float64, 0, cfg.SizeHint)
+			}
+		}
+	}
+	e.tri = make([]float64, cfg.Window)
+	e.wg.Add(cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		go e.worker(wi)
+	}
+	return e
+}
+
+// worker is one EP engine: it builds its graph once and re-observes it per
+// window (graph.ClearObservations), so the steady state allocates only the
+// posterior it ships back.
+func (e *Engine) worker(wi int) {
+	defer e.wg.Done()
+	g := graph.Build(e.cat)
+	var iters stats.Running
+	for job := range e.jobs {
+		g.ClearObservations()
+		for id, ok := range job.observed {
+			if ok {
+				g.Observe(uarch.EventID(id), job.obsMean[id], job.obsStd[id])
+			}
+		}
+		res := g.Infer(e.cfg.MaxIter, e.cfg.Tol)
+		iters.Add(float64(res.Iters))
+		e.results <- WindowPosterior{
+			Index: job.index, Start: job.start, End: job.end,
+			Mean: res.Mean, Std: res.Std,
+			ObsStd: job.obsStd, Disp: job.disp, Observed: job.observed,
+			Iters: res.Iters, Converged: res.Converged,
+		}
+	}
+	e.workerIters[wi] = iters
+}
+
+// Ingest feeds one interval into the window; at hop boundaries the window
+// is snapshotted and dispatched to the pool.
+func (e *Engine) Ingest(s measure.IntervalSample) {
+	for i, id := range s.Events {
+		e.lastVal[id] = s.Values[i]
+		if e.firstT[id] < 0 {
+			e.firstT[id] = e.ingested
+		}
+	}
+	for id := range e.naive {
+		e.corrNum[id] = append(e.corrNum[id], 0)
+		e.corrDen[id] = append(e.corrDen[id], 0)
+		e.stdNum[id] = append(e.stdNum[id], 0)
+		e.rawNum[id] = append(e.rawNum[id], 0)
+		e.rawDen[id] = append(e.rawDen[id], 0)
+		e.liveNum[id] = append(e.liveNum[id], 0)
+		e.liveDen[id] = append(e.liveDen[id], 0)
+		e.liveStd[id] = append(e.liveStd[id], 0)
+		e.naive[id] = append(e.naive[id], e.lastVal[id])
+	}
+	e.win.Push(s)
+	e.ingested++
+	// Fuse the live samples at their own interval. With Gumbel rejection
+	// on, a sample the trailing window's fit flags as an outlier is not
+	// trusted at full noise precision (the window estimate, itself
+	// filtered, covers its interval instead).
+	for i, id := range s.Events {
+		v := s.Values[i]
+		if e.cfg.Mux.GumbelReject && e.win.lastIsOutlier(id, e.cfg.Mux.RejectQuantile()) {
+			continue
+		}
+		sv := e.cfg.Mux.NoiseFrac * v
+		if floor := e.cfg.Mux.StdFloorFrac * v; sv < floor {
+			sv = floor
+		}
+		if sv == 0 {
+			sv = 1 // zero reading: unit count uncertainty
+		}
+		wv := 1 / (sv * sv)
+		t := e.ingested - 1
+		e.liveNum[id][t] = wv * v
+		e.liveDen[id][t] = wv
+		e.liveStd[id][t] = wv * sv
+	}
+	if e.ingested >= e.cfg.Window && (e.ingested-e.cfg.Window)%e.cfg.Hop == 0 {
+		e.emit()
+	}
+}
+
+// emit snapshots the current window and hands it to the pool, absorbing
+// finished posteriors whenever the job queue pushes back.
+func (e *Engine) emit() {
+	job := e.win.snapshot(e.nextIdx, e.cfg.Mux)
+	e.stitchRaw(job)
+	e.nextIdx++
+	e.pending++
+	e.lastEmitEnd = job.end
+	for {
+		select {
+		case e.jobs <- job:
+			return
+		case r := <-e.results:
+			e.absorb(r)
+		}
+	}
+}
+
+// absorb parks one posterior and immediately stitches the contiguous
+// prefix: stitching stays in strict window-index order (deterministic for
+// any worker count) while the parked map stays O(workers) on arbitrarily
+// long streams instead of accumulating every window until Finish.
+func (e *Engine) absorb(r WindowPosterior) {
+	e.parked[r.Index] = r
+	e.pending--
+	for {
+		next, ok := e.parked[e.stitched]
+		if !ok {
+			return
+		}
+		delete(e.parked, e.stitched)
+		e.stitchCorrected(next)
+		e.stitched++
+	}
+}
+
+// Flush blocks until every dispatched window's posterior has been stitched.
+// Call it at epoch boundaries before reading EpochPosterior, so the
+// scheduler feedback does not depend on worker timing.
+func (e *Engine) Flush() {
+	for e.pending > 0 {
+		e.absorb(<-e.results)
+	}
+}
+
+// triWeight is the stitching kernel: a window's estimate is most
+// representative of its center, so its weight ramps linearly from the
+// edges (where a boundary-straddling window smears the most) to the
+// middle. Combined with precision weighting this keeps the effective
+// smoothing kernel at one window width instead of two.
+func triWeight(t, start, end int) float64 {
+	span := float64(end - start)
+	center := float64(start) + (span-1)/2
+	return 1 - math.Abs(float64(t)-center)/((span+1)/2)
+}
+
+// triKernel fills e.tri with the window's triangular weights so the
+// per-event stitch loops do one multiply per point instead of recomputing
+// the kernel event-by-event.
+func (e *Engine) triKernel(start, end int) []float64 {
+	w := end - start
+	if cap(e.tri) < w {
+		e.tri = make([]float64, w)
+	}
+	tri := e.tri[:w]
+	for i := range tri {
+		tri[i] = triWeight(start+i, start, end)
+	}
+	return tri
+}
+
+// predictivePrec is the weight of a window's estimate when predicting one
+// interval's value: the inverse of (mean-estimate variance + within-window
+// dispersion²), per the law of total variance. Dispersion is what keeps a
+// window from claiming sample-level certainty about any single interval.
+func predictivePrec(rateStd, disp float64) float64 {
+	return 1 / math.Max(rateStd*rateStd+disp*disp, 1e-300)
+}
+
+// stitchRaw folds one window's uncorrected observations into the windowed
+// raw baseline, weighted by predictive precision.
+func (e *Engine) stitchRaw(job windowJob) {
+	w := float64(job.end - job.start)
+	tri := e.triKernel(job.start, job.end)
+	for id, ok := range job.observed {
+		if !ok {
+			continue
+		}
+		rate := job.obsMean[id] / w
+		prec := predictivePrec(job.obsStd[id]/w, job.disp[id])
+		num := e.rawNum[id][job.start:job.end]
+		den := e.rawDen[id][job.start:job.end]
+		for i, k := range tri {
+			wt := prec * k
+			num[i] += wt * rate
+			den[i] += wt
+		}
+	}
+}
+
+// stitchCorrected folds one window's posterior into the corrected series
+// and the pooled uncertainty metric. Runs strictly in window-index order.
+// The stitch weight is the same observation precision stitchRaw uses (the
+// posterior stds of overlapping windows are correlated, so they are
+// reported, not used as weights): raw and corrected then differ only in
+// the estimate each window contributes.
+func (e *Engine) stitchCorrected(r WindowPosterior) {
+	w := float64(r.End - r.Start)
+	e.converged = e.converged && r.Converged
+	tri := e.triKernel(r.Start, r.End)
+	for id := range r.Mean {
+		rate := r.Mean[id] / w
+		rateStd := r.Std[id] / w
+		weightStd := rateStd
+		if r.Observed[id] {
+			weightStd = r.ObsStd[id] / w
+		}
+		prec := predictivePrec(weightStd, r.Disp[id])
+		num := e.corrNum[id][r.Start:r.End]
+		den := e.corrDen[id][r.Start:r.End]
+		std := e.stdNum[id][r.Start:r.End]
+		for i, k := range tri {
+			wt := prec * k
+			num[i] += wt * rate
+			den[i] += wt
+			std[i] += wt * rateStd
+		}
+		scale := math.Abs(r.Mean[id])
+		if scale < 1 {
+			scale = 1
+		}
+		e.postRelStd.Add(r.Std[id] / scale)
+		e.epochMean[id] += r.Mean[id]
+		e.epochStd[id] += r.Std[id]
+		if r.Observed[id] {
+			e.epochObsStd[id] += r.ObsStd[id]
+			e.epochObsN[id]++
+		}
+	}
+	e.epochN++
+}
+
+// EpochPosterior returns the per-event posterior mean/std and observation
+// std averaged over the windows stitched since the previous call (valid
+// after a Flush; obsStd is 0 where the event went unobserved all epoch),
+// and resets the accumulator — the feedback signal for
+// measure.(*AdaptiveScheduler).Reprioritize.
+func (e *Engine) EpochPosterior() (mean, std, obsStd []float64, ok bool) {
+	if e.epochN == 0 {
+		return nil, nil, nil, false
+	}
+	n := float64(e.epochN)
+	mean = make([]float64, len(e.epochMean))
+	std = make([]float64, len(e.epochStd))
+	obsStd = make([]float64, len(e.epochObsStd))
+	for id := range mean {
+		mean[id] = e.epochMean[id] / n
+		std[id] = e.epochStd[id] / n
+		if e.epochObsN[id] > 0 {
+			obsStd[id] = e.epochObsStd[id] / float64(e.epochObsN[id])
+		}
+		e.epochMean[id] = 0
+		e.epochStd[id] = 0
+		e.epochObsStd[id] = 0
+		e.epochObsN[id] = 0
+	}
+	e.epochN = 0
+	return mean, std, obsStd, true
+}
+
+// Finish emits a final window over the stream's tail (so every interval is
+// covered), drains the pool, and assembles the stitched result. The engine
+// cannot be used after Finish.
+func (e *Engine) Finish() *Result {
+	if e.ingested > 0 && e.lastEmitEnd < e.ingested {
+		e.emit()
+	}
+	close(e.jobs)
+	e.Flush()
+	e.wg.Wait()
+
+	ne := e.cat.NumEvents()
+	res := &Result{
+		Intervals:    e.ingested,
+		Windows:      e.nextIdx,
+		Corrected:    make([]timeseries.Series, ne),
+		CorrectedStd: make([]timeseries.Series, ne),
+		WindowedRaw:  make([]timeseries.Series, ne),
+		NaiveRaw:     make([]timeseries.Series, ne),
+		PostRelStd:   e.postRelStd,
+		AllConverged: e.converged,
+	}
+	for _, wi := range e.workerIters {
+		res.InferIters.Merge(wi)
+	}
+	for id := 0; id < ne; id++ {
+		corr := make(timeseries.Series, e.ingested)
+		cstd := make(timeseries.Series, e.ingested)
+		raw := make(timeseries.Series, e.ingested)
+		naive := append(timeseries.Series(nil), e.naive[id]...)
+		// Backfill the naive baseline's leading intervals (before the
+		// event's group first went live) with its first reading.
+		if ft := e.firstT[id]; ft > 0 {
+			for t := 0; t < ft; t++ {
+				naive[t] = naive[ft]
+			}
+		}
+		for t := 0; t < e.ingested; t++ {
+			if den := e.corrDen[id][t] + e.liveDen[id][t]; den > 0 {
+				corr[t] = (e.corrNum[id][t] + e.liveNum[id][t]) / den
+				cstd[t] = (e.stdNum[id][t] + e.liveStd[id][t]) / den
+			}
+			if den := e.rawDen[id][t] + e.liveDen[id][t]; den > 0 {
+				raw[t] = (e.rawNum[id][t] + e.liveNum[id][t]) / den
+			} else {
+				raw[t] = naive[t] // window never saw the event: hold the sample
+			}
+		}
+		res.Corrected[id] = corr
+		res.CorrectedStd[id] = cstd
+		res.WindowedRaw[id] = raw
+		res.NaiveRaw[id] = naive
+	}
+	return res
+}
+
+// RunTrace streams a ground-truth trace through sampler → engine end to
+// end. When sched is a *measure.AdaptiveScheduler the posterior feedback
+// loop closes: each epoch the engine is flushed and the latest window's
+// posterior re-prioritizes the multiplexing slots. Results are
+// deterministic for a given (trace, scheduler, config, seed) regardless of
+// the worker count.
+func RunTrace(tr *measure.Trace, sched measure.Scheduler, cfg Config, r *rng.Rand) *Result {
+	cfg.SizeHint = tr.Intervals()
+	e := NewEngine(tr.Cat, cfg)
+	smp := measure.NewSampler(tr, e.cfg.Mux, sched, r)
+	ad, adaptive := sched.(*measure.AdaptiveScheduler)
+	t := 0
+	for {
+		s, ok := smp.Next()
+		if !ok {
+			break
+		}
+		e.Ingest(s)
+		t++
+		if adaptive && t%ad.EpochLen() == 0 {
+			e.Flush()
+			if mean, std, obsStd, ok := e.EpochPosterior(); ok {
+				ad.Reprioritize(mean, std, obsStd)
+			}
+		}
+	}
+	res := e.Finish()
+	if adaptive {
+		res.Reprioritizations = ad.Reprioritizations()
+	}
+	return res
+}

@@ -1,0 +1,321 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"bayesperf/internal/graph"
+	"bayesperf/internal/measure"
+	"bayesperf/internal/rng"
+	"bayesperf/internal/stats"
+	"bayesperf/internal/timeseries"
+	"bayesperf/internal/uarch"
+)
+
+// testConfig keeps unit-test runs small and single-seeded.
+func testConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	return cfg
+}
+
+// trueRates converts a ground-truth trace to per-interval rate series
+// (identical representation to the stream result).
+func trueRates(tr *measure.Trace) []timeseries.Series {
+	out := make([]timeseries.Series, len(tr.Series))
+	for id, s := range tr.Series {
+		out[id] = s.Clone()
+	}
+	return out
+}
+
+// TestWindowIncrementalMatchesBatch drives a window far enough to slide
+// many times, then checks that the incrementally maintained observation
+// snapshot equals one recomputed from scratch on the same intervals.
+func TestWindowIncrementalMatchesBatch(t *testing.T) {
+	cat := uarch.Skylake()
+	tr := measure.GroundTruth(cat, measure.DefaultWorkload(40), rng.New(8))
+	smp := measure.NewSampler(tr, measure.DefaultMuxConfig(), measure.NewRoundRobin(cat), rng.New(9))
+
+	const size = 16
+	slid := NewWindow(cat, size)
+	var history []measure.IntervalSample
+	for {
+		s, ok := smp.Next()
+		if !ok {
+			break
+		}
+		slid.Push(s)
+		history = append(history, s)
+
+		if s.T < size || s.T%7 != 0 {
+			continue
+		}
+		// Rebuild the same window from scratch.
+		fresh := NewWindow(cat, size)
+		for _, hs := range history[len(history)-size:] {
+			fresh.Push(hs)
+		}
+		a := slid.snapshot(0, measure.DefaultMuxConfig())
+		b := fresh.snapshot(0, measure.DefaultMuxConfig())
+		if a.start != b.start || a.end != b.end {
+			t.Fatalf("t=%d: span (%d,%d) vs (%d,%d)", s.T, a.start, a.end, b.start, b.end)
+		}
+		for id := range a.observed {
+			if a.observed[id] != b.observed[id] {
+				t.Fatalf("t=%d event %d: observed %v vs %v", s.T, id, a.observed[id], b.observed[id])
+			}
+			if !a.observed[id] {
+				continue
+			}
+			if math.Abs(a.obsMean[id]-b.obsMean[id]) > 1e-6*math.Abs(b.obsMean[id]) {
+				t.Fatalf("t=%d event %d: incremental mean %v, batch %v", s.T, id, a.obsMean[id], b.obsMean[id])
+			}
+			if math.Abs(a.obsStd[id]-b.obsStd[id]) > 1e-6*b.obsStd[id]+1e-9 {
+				t.Fatalf("t=%d event %d: incremental std %v, batch %v", s.T, id, a.obsStd[id], b.obsStd[id])
+			}
+		}
+	}
+}
+
+// TestPosteriorBeatsObservationsPerWindow isolates the inference layer at
+// the resolution it operates on: across every emitted window, the
+// posterior's window-total error must be well below the raw observations'.
+func TestPosteriorBeatsObservationsPerWindow(t *testing.T) {
+	for _, cat := range uarch.Catalogs() {
+		r := rng.New(7)
+		tr := measure.GroundTruth(cat, measure.DefaultWorkload(100), r.Split())
+		cfg := testConfig(0)
+		smp := measure.NewSampler(tr, cfg.Mux, measure.NewRoundRobin(cat), r.Split())
+		win := NewWindow(cat, cfg.Window)
+		g := graph.Build(cat)
+		var obsErr, postErr stats.Running
+		for {
+			s, ok := smp.Next()
+			if !ok {
+				break
+			}
+			win.Push(s)
+			if s.T < cfg.Window-1 || (s.T-cfg.Window+1)%cfg.Hop != 0 {
+				continue
+			}
+			job := win.snapshot(0, cfg.Mux)
+			g.ClearObservations()
+			for id, observed := range job.observed {
+				if observed {
+					g.Observe(uarch.EventID(id), job.obsMean[id], job.obsStd[id])
+				}
+			}
+			res := g.Infer(cfg.MaxIter, cfg.Tol)
+			for id := range job.observed {
+				var truthTot float64
+				for tt := job.start; tt < job.end; tt++ {
+					truthTot += tr.Series[id][tt]
+				}
+				if job.observed[id] {
+					obsErr.Add(stats.RelErr(job.obsMean[id], truthTot, 1))
+				}
+				postErr.Add(stats.RelErr(res.Mean[id], truthTot, 1))
+			}
+		}
+		t.Logf("%s window-total err: observations %.3f%% posterior %.3f%%",
+			cat.Arch, 100*obsErr.Mean(), 100*postErr.Mean())
+		if postErr.Mean() >= 0.9*obsErr.Mean() {
+			t.Errorf("%s: posterior window error %.4f%% not at least 10%% below observation error %.4f%%",
+				cat.Arch, 100*postErr.Mean(), 100*obsErr.Mean())
+		}
+	}
+}
+
+// TestStreamDeterministicAcrossWorkers: the stitched output must be
+// bit-identical for any pool size — inference is per-window and stitching
+// is forced into window-index order.
+func TestStreamDeterministicAcrossWorkers(t *testing.T) {
+	cat := uarch.Power9()
+	tr := measure.GroundTruth(cat, measure.DefaultWorkload(60), rng.New(5))
+	var base *Result
+	for _, workers := range []int{1, 4} {
+		res := RunTrace(tr, measure.NewRoundRobin(cat), testConfig(workers), rng.New(6))
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Windows != base.Windows || res.Intervals != base.Intervals {
+			t.Fatalf("workers=%d: shape %d/%d vs %d/%d", workers,
+				res.Windows, res.Intervals, base.Windows, base.Intervals)
+		}
+		for id := range base.Corrected {
+			for _, pair := range []struct {
+				name string
+				a, b timeseries.Series
+			}{
+				{"corrected", res.Corrected[id], base.Corrected[id]},
+				{"correctedStd", res.CorrectedStd[id], base.CorrectedStd[id]},
+				{"windowedRaw", res.WindowedRaw[id], base.WindowedRaw[id]},
+				{"naiveRaw", res.NaiveRaw[id], base.NaiveRaw[id]},
+			} {
+				for ti := range pair.b {
+					if pair.a[ti] != pair.b[ti] {
+						t.Fatalf("workers=%d: %s[%d][%d] = %v, want %v",
+							workers, pair.name, id, ti, pair.a[ti], pair.b[ti])
+					}
+				}
+			}
+		}
+		if res.PostRelStd != base.PostRelStd {
+			t.Errorf("workers=%d: posterior-std pool diverged", workers)
+		}
+	}
+}
+
+// TestStreamCorrectsLiveTrace is the streaming headline result on both
+// catalogs: the stitched posterior's DTW-aligned per-interval error is
+// below the naive multiplexed stream's, and the correction also beats
+// window smoothing alone.
+func TestStreamCorrectsLiveTrace(t *testing.T) {
+	for _, cat := range uarch.Catalogs() {
+		r := rng.New(42)
+		tr := measure.GroundTruth(cat, measure.DefaultWorkload(100), r.Split())
+		res := RunTrace(tr, measure.NewRoundRobin(cat), testConfig(0), r.Split())
+		if !res.AllConverged {
+			t.Errorf("%s: some windows did not converge", cat.Arch)
+		}
+		if res.Intervals != tr.Intervals() {
+			t.Fatalf("%s: %d intervals out, want %d", cat.Arch, res.Intervals, tr.Intervals())
+		}
+		truth := trueRates(tr)
+		var naive, windowed, corrected stats.Running
+		for id := range truth {
+			ne, err := timeseries.AlignedRelError(truth[id], res.NaiveRaw[id], res.Intervals/4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			we, err := timeseries.AlignedRelError(truth[id], res.WindowedRaw[id], res.Intervals/4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce, err := timeseries.AlignedRelError(truth[id], res.Corrected[id], res.Intervals/4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive.Add(ne)
+			windowed.Add(we)
+			corrected.Add(ce)
+		}
+		t.Logf("%s aligned err: naive %.3f%% windowed %.3f%% corrected %.3f%%",
+			cat.Arch, 100*naive.Mean(), 100*windowed.Mean(), 100*corrected.Mean())
+		if corrected.Mean() >= naive.Mean() {
+			t.Errorf("%s: corrected aligned error %.4f%% not below naive %.4f%%",
+				cat.Arch, 100*corrected.Mean(), 100*naive.Mean())
+		}
+		// Inference must never materially regress the windowed estimate it
+		// starts from (per-interval error is dispersion-dominated, so the
+		// window-level posterior win shows up only as a thin margin here;
+		// the decisive posterior-vs-observation comparison is
+		// TestPosteriorBeatsObservationsPerWindow).
+		if corrected.Mean() >= 1.02*windowed.Mean() {
+			t.Errorf("%s: corrected aligned error %.4f%% regresses windowed raw %.4f%%",
+				cat.Arch, 100*corrected.Mean(), 100*windowed.Mean())
+		}
+	}
+}
+
+// TestAdaptiveBeatsRoundRobin closes the §5 loop end to end: steering
+// multiplexing slots by posterior uncertainty must lower the pooled
+// posterior relative std versus pure round-robin on both catalogs. The
+// margin is structural on Skylake (its cache group's spread asymmetry
+// gives the gradient several slots' worth of headroom, ~+5% across
+// seeds); on Power9 the three groups divide the window evenly and
+// round-robin is already near the measured optimum, so only small
+// orientation-level gains remain.
+func TestAdaptiveBeatsRoundRobin(t *testing.T) {
+	for _, cat := range uarch.Catalogs() {
+		r := rng.New(41)
+		tr := measure.GroundTruth(cat, measure.DefaultWorkload(100), r.Split())
+		seed := r.Split()
+
+		cfg := testConfig(0)
+		rr := RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(seed.Uint64()))
+		ad := RunTrace(tr, measure.NewAdaptive(cat, cfg.Window), cfg, rng.New(seed.Uint64()))
+		if ad.Reprioritizations == 0 {
+			t.Fatalf("%s: adaptive loop never re-prioritized", cat.Arch)
+		}
+		if rr.Reprioritizations != 0 {
+			t.Fatalf("%s: round-robin run reports reprioritizations", cat.Arch)
+		}
+		t.Logf("%s mean posterior rel std: round-robin %.4f%% adaptive %.4f%% (%d replans)",
+			cat.Arch, 100*rr.PostRelStd.Mean(), 100*ad.PostRelStd.Mean(), ad.Reprioritizations)
+		if ad.PostRelStd.Mean() >= rr.PostRelStd.Mean() {
+			t.Errorf("%s: adaptive mean posterior rel std %.5f not below round-robin %.5f",
+				cat.Arch, ad.PostRelStd.Mean(), rr.PostRelStd.Mean())
+		}
+	}
+}
+
+// TestStreamShortTrace: a trace shorter than one window still gets a
+// (single, partial) window and full coverage.
+func TestStreamShortTrace(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := measure.Workload{Name: "short", Phases: []measure.Phase{{
+		Name: "p", Intervals: 9, InstRate: 1e6,
+		LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.1, MispRate: 0.02,
+		L1MissRate: 0.05, L2HitFrac: 0.6, L3HitFrac: 0.5,
+		BaseCPI: 0.4, Jitter: 0.05,
+	}}}
+	tr := measure.GroundTruth(cat, wl, rng.New(2))
+	res := RunTrace(tr, measure.NewRoundRobin(cat), testConfig(2), rng.New(3))
+	if res.Windows != 1 {
+		t.Fatalf("got %d windows, want 1", res.Windows)
+	}
+	if res.Intervals != 9 {
+		t.Fatalf("got %d intervals, want 9", res.Intervals)
+	}
+	for id := range res.Corrected {
+		if len(res.Corrected[id]) != 9 {
+			t.Fatalf("event %d corrected length %d", id, len(res.Corrected[id]))
+		}
+		for ti, v := range res.Corrected[id] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("event %d interval %d corrected = %v", id, ti, v)
+			}
+		}
+		for _, v := range res.CorrectedStd[id] {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("event %d posterior std = %v", id, v)
+			}
+		}
+	}
+}
+
+// TestStreamGumbelRejection: with corrupted readings injected, enabling the
+// window-level Gumbel filter must lower the corrected trace's aligned
+// error.
+func TestStreamGumbelRejection(t *testing.T) {
+	cat := uarch.Skylake()
+	tr := measure.GroundTruth(cat, measure.DefaultWorkload(80), rng.New(13))
+	truth := trueRates(tr)
+
+	run := func(reject bool) float64 {
+		cfg := testConfig(0)
+		cfg.Mux.OutlierProb = 0.02
+		cfg.Mux.OutlierMag = 8
+		cfg.Mux.GumbelReject = reject
+		res := RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(17))
+		var errs stats.Running
+		for id := range truth {
+			e, err := timeseries.AlignedRelError(truth[id], res.Corrected[id], res.Intervals/4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs.Add(e)
+		}
+		return errs.Mean()
+	}
+	plain := run(false)
+	filtered := run(true)
+	t.Logf("corrected aligned err under outliers: unfiltered %.3f%% gumbel-filtered %.3f%%",
+		100*plain, 100*filtered)
+	if filtered >= plain {
+		t.Errorf("Gumbel rejection did not help: %.4f%% -> %.4f%%", 100*plain, 100*filtered)
+	}
+}
