@@ -8,14 +8,17 @@
 //
 // Usage:
 //
-//	bayesperf [-seed N] [-intervals N] [-noise F] [-maxiter N] [-tol F]
-//	          [-arch all|skylake|power9] [-q]
+//	bayesperf [run] [-seed N] [-intervals N] [-noise F] [-maxiter N]
+//	          [-tol F] [-arch all|skylake|power9] [-derived] [-q]
 //	bayesperf stream [flags]   (see cmd/bayesperf/stream.go)
 //
-// The bare command is the batch mode (whole-run totals, PR 1); the stream
-// subcommand is the online mode: sliding-window posterior inference over a
-// live multiplexed interval stream with DTW-aligned per-interval error
-// reporting and the adaptive-vs-round-robin multiplexing comparison.
+// The bare command (or the explicit run subcommand) is the batch mode
+// (whole-run totals, PR 1); the stream subcommand is the online mode:
+// sliding-window posterior inference over a live multiplexed interval
+// stream with DTW-aligned per-interval error reporting and the
+// adaptive-vs-round-robin multiplexing comparison. -derived adds the
+// derived-event evaluation (§6.2): IPC/MPKI/… with delta-method posterior
+// stds, gated on the corrected derived error beating the baseline's.
 package main
 
 import (
@@ -60,6 +63,8 @@ type catalogReport struct {
 type derivedReport struct {
 	Name    string
 	Truth   float64
+	Corr    float64 // derived value at the posterior mean
+	CorrStd float64 // delta-method posterior std
 	RawErr  float64
 	CorrErr float64
 }
@@ -131,7 +136,8 @@ func runCatalog(cat *uarch.Catalog, wl measure.Workload, cfg measure.MuxConfig,
 	rep.CorrMeanErr = corr.Mean()
 
 	// Derived events (§6.2): propagate raw and corrected totals through
-	// the derived formulas and compare against truth.
+	// the derived formulas and compare against truth. The corrected value
+	// carries a delta-method posterior std (graph.Result.DerivedPosterior).
 	rawTotals := make([]float64, len(truth))
 	for id, est := range mux.Est {
 		rawTotals[id] = est.Total
@@ -139,17 +145,20 @@ func runCatalog(cat *uarch.Catalog, wl measure.Workload, cfg measure.MuxConfig,
 	for i := range cat.Derived {
 		d := &cat.Derived[i]
 		want := cat.EvalDerived(d, truth)
+		corrMean, corrStd := post.DerivedPosterior(d)
 		rep.DerivedRows = append(rep.DerivedRows, derivedReport{
 			Name:    d.Name,
 			Truth:   want,
+			Corr:    corrMean,
+			CorrStd: corrStd,
 			RawErr:  stats.RelErr(cat.EvalDerived(d, rawTotals), want, 1e-9),
-			CorrErr: stats.RelErr(cat.EvalDerived(d, post.Mean), want, 1e-9),
+			CorrErr: stats.RelErr(corrMean, want, 1e-9),
 		})
 	}
 	return rep
 }
 
-func printReport(rep catalogReport, quiet bool) {
+func printReport(rep catalogReport, quiet, derived bool) {
 	fmt.Printf("=== %s ===\n", rep.Arch)
 	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v)\n",
 		rep.Groups, rep.Iters, rep.Converged)
@@ -163,7 +172,8 @@ func printReport(rep catalogReport, quiet bool) {
 			fmt.Printf("%-42s %5s %8.0f%% %11.3f%% %11.3f%%\n",
 				e.Name, kind, 100*e.Coverage, 100*e.RawErr, 100*e.CorrErr)
 		}
-		if len(rep.DerivedRows) > 0 {
+		// With -derived the posterior table below subsumes these rows.
+		if len(rep.DerivedRows) > 0 && !derived {
 			fmt.Printf("%-42s %5s %9s %12s %12s\n", "derived event", "", "", "raw err", "corrected")
 			for _, d := range rep.DerivedRows {
 				fmt.Printf("%-42s %5s %9s %11.3f%% %11.3f%%\n",
@@ -175,14 +185,56 @@ func printReport(rep catalogReport, quiet bool) {
 	if rep.CorrMeanErr >= rep.RawMeanErr {
 		verdict = "NOT IMPROVED"
 	}
-	fmt.Printf("mean relative error: raw-multiplexed %.3f%% → bayesperf-corrected %.3f%%  [%s]\n\n",
+	fmt.Printf("mean relative error: raw-multiplexed %.3f%% → bayesperf-corrected %.3f%%  [%s]\n",
 		100*rep.RawMeanErr, 100*rep.CorrMeanErr, verdict)
+	if derived {
+		fmt.Printf("derived-event posteriors (delta method over the factor-graph marginals):\n")
+		for _, d := range rep.DerivedRows {
+			fmt.Printf("  %-20s truth %10.4f   posterior %10.4f ± %.4f   raw err %7.3f%% → corrected %7.3f%%\n",
+				d.Name, d.Truth, d.Corr, d.CorrStd, 100*d.RawErr, 100*d.CorrErr)
+		}
+	}
+	fmt.Println()
+}
+
+// derivedSeeds is the ensemble size behind the batch -derived verdict. A
+// single realization's derived error is dominated by the luck of two
+// nearly-cancelling input-event errors, so the §6.2 claim — correction
+// shrinks derived-event error — is asserted on the seed-pooled estimate,
+// mirroring the paper's run-averaged evaluation.
+const derivedSeeds = 11
+
+// derivedEnsemble pools the derived-event raw/corrected mean errors over
+// derivedSeeds consecutive seeds, reusing the base seed's already-computed
+// report as the first member (the pipeline is deterministic per seed, so
+// re-running it would be pure waste). The loop counts members rather than
+// comparing seeds so a base seed near the top of the uint64 range still
+// yields a full ensemble (individual member seeds wrapping is harmless).
+func derivedEnsemble(base catalogReport, cat *uarch.Catalog, wl measure.Workload,
+	cfg measure.MuxConfig, seed uint64, maxIter int, tol float64) (raw, corr float64) {
+
+	var dRaw, dCorr stats.Running
+	pool := func(rows []derivedReport) {
+		for _, d := range rows {
+			dRaw.Add(d.RawErr)
+			dCorr.Add(d.CorrErr)
+		}
+	}
+	pool(base.DerivedRows)
+	for i := 1; i < derivedSeeds; i++ {
+		pool(runCatalog(cat, wl, cfg, seed+uint64(i), maxIter, tol).DerivedRows)
+	}
+	return dRaw.Mean(), dCorr.Mean()
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stream" {
-		streamMain(os.Args[2:])
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "stream" {
+		streamMain(args[1:])
 		return
+	}
+	if len(args) > 0 && args[0] == "run" {
+		args = args[1:] // explicit alias for the default batch mode
 	}
 	seed := flag.Uint64("seed", 42, "RNG seed (whole pipeline is deterministic per seed)")
 	intervals := flag.Int("intervals", 200, "sampling intervals per workload phase")
@@ -190,8 +242,9 @@ func main() {
 	maxIter := flag.Int("maxiter", 500, "max message-passing sweeps")
 	tol := flag.Float64("tol", 1e-9, "convergence tolerance on posterior means")
 	arch := flag.String("arch", "all", "catalog to run: all, skylake, or power9")
+	derived := flag.Bool("derived", false, "evaluate derived events (IPC, MPKI, …) with propagated posterior stds and gate on their improvement")
 	quiet := flag.Bool("q", false, "only print per-catalog summary lines")
-	flag.Parse()
+	flag.CommandLine.Parse(args)
 
 	cats := selectCatalogs("bayesperf", *arch, *intervals)
 
@@ -202,9 +255,19 @@ func main() {
 	ok := true
 	for _, cat := range cats {
 		rep := runCatalog(cat, wl, cfg, *seed, *maxIter, *tol)
-		printReport(rep, *quiet)
+		printReport(rep, *quiet, *derived)
 		if rep.CorrMeanErr >= rep.RawMeanErr {
 			ok = false
+		}
+		if *derived {
+			dRaw, dCorr := derivedEnsemble(rep, cat, wl, cfg, *seed, *maxIter, *tol)
+			dVerdict := "IMPROVED"
+			if dCorr >= dRaw {
+				dVerdict = "NOT IMPROVED"
+				ok = false
+			}
+			fmt.Printf("derived mean relative error over %d seeds: raw %.3f%% → corrected %.3f%%  [%s]\n\n",
+				derivedSeeds, 100*dRaw, 100*dCorr, dVerdict)
 		}
 	}
 	if !ok {

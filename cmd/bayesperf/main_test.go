@@ -56,6 +56,51 @@ func TestCorrectionIsStatisticallyBetter(t *testing.T) {
 	}
 }
 
+// TestDerivedEnsembleImproves is the batch half of the §6.2 derived-event
+// acceptance: pooled over the CLI's seed ensemble, the corrected derived
+// error (IPC, MPKI, …) is below the raw multiplexed one on both catalogs,
+// and every reported derived posterior carries a positive delta-method std.
+func TestDerivedEnsembleImproves(t *testing.T) {
+	wl := measure.DefaultWorkload(200)
+	cfg := measure.DefaultMuxConfig()
+	for _, cat := range uarch.Catalogs() {
+		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
+		dRaw, dCorr := derivedEnsemble(rep, cat, wl, cfg, 42, 500, 1e-9)
+		if dCorr >= dRaw {
+			t.Errorf("%s: pooled corrected derived err %.4f%% not below raw %.4f%%",
+				cat.Arch, 100*dCorr, 100*dRaw)
+		}
+		if len(rep.DerivedRows) != len(cat.Derived) {
+			t.Fatalf("%s: %d derived rows, want %d", cat.Arch, len(rep.DerivedRows), len(cat.Derived))
+		}
+		for _, d := range rep.DerivedRows {
+			if d.CorrStd <= 0 {
+				t.Errorf("%s/%s: posterior std %v, want > 0", cat.Arch, d.Name, d.CorrStd)
+			}
+			// The delta-method std must be in a sane relationship to the
+			// value: neither collapsed nor wider than the value itself.
+			if d.CorrStd > d.Truth {
+				t.Errorf("%s/%s: posterior std %v exceeds the value %v", cat.Arch, d.Name, d.CorrStd, d.Truth)
+			}
+		}
+	}
+}
+
+// TestDerivedEnsembleSeedWrap: a base seed near the top of the uint64
+// range must still pool a full-size ensemble (member seeds may wrap, the
+// loop must not terminate early on overflow).
+func TestDerivedEnsembleSeedWrap(t *testing.T) {
+	wl := measure.DefaultWorkload(30)
+	cfg := measure.DefaultMuxConfig()
+	cat := uarch.Skylake()
+	seed := ^uint64(0) - 3 // wraps after 4 of the 11 members
+	base := runCatalog(cat, wl, cfg, seed, 200, 1e-8)
+	dRaw, dCorr := derivedEnsemble(base, cat, wl, cfg, seed, 200, 1e-8)
+	if dRaw <= 0 || dCorr <= 0 {
+		t.Errorf("wrapped-seed ensemble pooled nothing: raw %v corrected %v", dRaw, dCorr)
+	}
+}
+
 // TestHighNoiseRegime stresses the observation model: with 5× the default
 // measurement noise the correction must still deliver at default seed.
 func TestHighNoiseRegime(t *testing.T) {

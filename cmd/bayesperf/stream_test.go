@@ -17,7 +17,7 @@ func TestStreamCLIImproves(t *testing.T) {
 	wl := measure.DefaultWorkload(100)
 	cfg := stream.DefaultConfig().WithDefaults()
 	for _, cat := range uarch.Catalogs() {
-		rep, err := runStreamCatalog(cat, wl, cfg, 42)
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
 		if err != nil {
 			t.Fatalf("%s: %v", cat.Arch, err)
 		}
@@ -42,6 +42,47 @@ func TestStreamCLIImproves(t *testing.T) {
 	}
 }
 
+// TestStreamCLIDerived is the streaming half of the §6.2 derived-event
+// acceptance at the CLI defaults: the corrected derived series' aligned
+// error is below both the naive stream's and the windowed-raw baseline's
+// on both catalogs, every emitted interval carries a strictly positive
+// posterior std, and the derived-event improvement over naive is larger
+// than the raw events' — correcting the inputs stops ratio errors from
+// compounding.
+func TestStreamCLIDerived(t *testing.T) {
+	wl := measure.DefaultWorkload(100)
+	cfg := stream.DefaultConfig().WithDefaults()
+	for _, cat := range uarch.Catalogs() {
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Arch, err)
+		}
+		if len(rep.DerivedRows) != len(cat.Derived) {
+			t.Fatalf("%s: %d derived rows, want %d", cat.Arch, len(rep.DerivedRows), len(cat.Derived))
+		}
+		for _, row := range rep.DerivedRows {
+			if row.MinPostStd <= 0 {
+				t.Errorf("%s/%s: min per-interval posterior std %v, want > 0",
+					cat.Arch, row.Name, row.MinPostStd)
+			}
+		}
+		if rep.DerivedCorrectedAligned >= rep.DerivedNaiveAligned {
+			t.Errorf("%s: corrected derived aligned error %.4f%% not below naive %.4f%%",
+				cat.Arch, 100*rep.DerivedCorrectedAligned, 100*rep.DerivedNaiveAligned)
+		}
+		if rep.DerivedCorrectedAligned >= rep.DerivedWindowedAligned {
+			t.Errorf("%s: corrected derived aligned error %.4f%% not below windowed raw %.4f%%",
+				cat.Arch, 100*rep.DerivedCorrectedAligned, 100*rep.DerivedWindowedAligned)
+		}
+		rawShrink := 1 - rep.CorrectedAligned/rep.NaiveAligned
+		derivedShrink := 1 - rep.DerivedCorrectedAligned/rep.DerivedNaiveAligned
+		if derivedShrink <= rawShrink {
+			t.Errorf("%s: derived error shrink %.1f%% not above raw-event shrink %.1f%%",
+				cat.Arch, 100*derivedShrink, 100*rawShrink)
+		}
+	}
+}
+
 // TestStreamCLITotalsCrossCheck: summing the stream's corrected
 // per-interval series must land in the same accuracy regime as the batch
 // pipeline's totals (each stream window sees only a fraction of the run,
@@ -50,7 +91,7 @@ func TestStreamCLITotalsCrossCheck(t *testing.T) {
 	wl := measure.DefaultWorkload(100)
 	cfg := stream.DefaultConfig().WithDefaults()
 	for _, cat := range uarch.Catalogs() {
-		rep, err := runStreamCatalog(cat, wl, cfg, 42)
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
 		if err != nil {
 			t.Fatalf("%s: %v", cat.Arch, err)
 		}
@@ -74,12 +115,12 @@ func TestStreamCLIGumbelFlag(t *testing.T) {
 	cfg.Mux.OutlierMag = 8
 
 	cat := uarch.Skylake()
-	plain, err := runStreamCatalog(cat, wl, cfg, 7)
+	plain, err := runStreamCatalog(cat, wl, cfg, 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Mux.GumbelReject = true
-	filtered, err := runStreamCatalog(cat, wl, cfg, 7)
+	filtered, err := runStreamCatalog(cat, wl, cfg, 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}

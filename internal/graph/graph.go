@@ -132,6 +132,21 @@ type Result struct {
 	Converged bool
 }
 
+// Posterior returns one event's posterior (mean, std) pair.
+func (r *Result) Posterior(id uarch.EventID) (mean, std float64) {
+	return r.Mean[id], r.Std[id]
+}
+
+// DerivedPosterior propagates the posterior through a derived-event
+// formula (§2 "Errors in Derived Events"): the mean is the formula
+// evaluated at the posterior mean, and the std is the first-order delta
+// method over the posterior marginals (uarch.Derived.PropagateStd) —
+// cross-event posterior covariances are not tracked by the factor graph,
+// so the propagation treats the inputs as independent.
+func (r *Result) DerivedPosterior(d *uarch.Derived) (mean, std float64) {
+	return d.PosteriorFrom(r.Mean, r.Std)
+}
+
 // damping applied to factor→variable messages (in natural parameters);
 // stabilizes loopy message passing on catalogs whose relations share events.
 const damping = 0.7

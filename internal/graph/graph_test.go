@@ -180,6 +180,78 @@ func TestClearObservationsReuse(t *testing.T) {
 	}
 }
 
+// TestDerivedPosteriorDeltaMethod checks the derived-event propagation at
+// the graph level against the hand-derived delta-method formula for
+// IPC = I/C: the posterior IPC mean is the formula at the posterior mean,
+// and its std is √((σ_I/C)² + (I·σ_C/C²)²) over the posterior marginals.
+func TestDerivedPosteriorDeltaMethod(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	g := Build(c)
+	for id, want := range truth {
+		g.Observe(uarch.EventID(id), want, 0.01*want)
+	}
+	res := g.Infer(200, 1e-9)
+
+	d := c.DerivedByName("IPC")
+	mean, std := res.DerivedPosterior(d)
+	instr, sigI := res.Posterior(c.MustEvent("INST_RETIRED.ANY"))
+	cyc, sigC := res.Posterior(c.MustEvent("CPU_CLK_UNHALTED.THREAD"))
+	if want := instr / cyc; math.Abs(mean-want) > 1e-12*want {
+		t.Errorf("IPC posterior mean = %v, formula at posterior mean = %v", mean, want)
+	}
+	want := math.Sqrt(math.Pow(sigI/cyc, 2) + math.Pow(instr*sigC/(cyc*cyc), 2))
+	if math.Abs(std-want) > 1e-9*want {
+		t.Errorf("IPC posterior std = %g, hand-derived delta method %g", std, want)
+	}
+	if std <= 0 {
+		t.Errorf("IPC posterior std = %g, want > 0", std)
+	}
+	// The posterior IPC must land near the truth's.
+	trueIPC := truth[c.MustEvent("INST_RETIRED.ANY")] / truth[c.MustEvent("CPU_CLK_UNHALTED.THREAD")]
+	if e := stats.RelErr(mean, trueIPC, 1e-9); e > 0.02 {
+		t.Errorf("posterior IPC %v strays %.3f%% from truth %v", mean, 100*e, trueIPC)
+	}
+	// Every derived event in the catalog gets a finite, positive std.
+	for di := range c.Derived {
+		dm, ds := res.DerivedPosterior(&c.Derived[di])
+		if math.IsNaN(dm) || math.IsInf(dm, 0) {
+			t.Errorf("%s posterior mean = %v", c.Derived[di].Name, dm)
+		}
+		if ds <= 0 || math.IsNaN(ds) || math.IsInf(ds, 0) {
+			t.Errorf("%s posterior std = %v", c.Derived[di].Name, ds)
+		}
+	}
+}
+
+// TestDerivedPosteriorUnobservedDenominator drives the safeDiv path at the
+// graph level: with the cycle counter unobserved and unconstrained by any
+// invariant, its posterior mean sits at the weak prior's 0 — the derived
+// ratio must come back 0 with a finite std rather than NaN.
+func TestDerivedPosteriorUnobservedDenominator(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	cycID := c.MustEvent("CPU_CLK_UNHALTED.THREAD")
+	g := Build(c)
+	for id, want := range truth {
+		if uarch.EventID(id) == cycID {
+			continue // cycles take part in no invariant: posterior stays at the prior
+		}
+		g.Observe(uarch.EventID(id), want, 0.01*want)
+	}
+	res := g.Infer(200, 1e-9)
+	if res.Mean[cycID] != 0 {
+		t.Fatalf("unconstrained unobserved cycles inferred as %v, want prior 0", res.Mean[cycID])
+	}
+	mean, std := res.DerivedPosterior(c.DerivedByName("IPC"))
+	if mean != 0 {
+		t.Errorf("IPC with zero denominator = %v, want safeDiv's 0", mean)
+	}
+	if math.IsNaN(std) || std < 0 {
+		t.Errorf("IPC std with zero denominator = %v", std)
+	}
+}
+
 // benchObserveAll observes every event with noisy values.
 func benchObserveAll(g *Graph, truth []float64, r *rng.Rand) {
 	for id, want := range truth {

@@ -216,6 +216,45 @@ func TestMultiplexShortRun(t *testing.T) {
 	}
 }
 
+// TestMultiplexCorruptedSeries: corrupted readings (NaN or Inf) are
+// dropped at collection regardless of the Gumbel switch. An event whose
+// every reading is corrupted comes back with no estimate (N=0, the
+// never-counted convention) instead of panicking in the extrapolation or
+// shipping NaN totals downstream; a single corrupted reading merely costs
+// one sample.
+func TestMultiplexCorruptedSeries(t *testing.T) {
+	for _, reject := range []bool{false, true} {
+		for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+			cat := uarch.Skylake()
+			tr := GroundTruth(cat, DefaultWorkload(40), rng.New(1))
+			allBad := cat.MustEvent("MEM_INST_RETIRED.ALL_LOADS")
+			for ti := range tr.Series[allBad] {
+				tr.Series[allBad][ti] = bad
+			}
+			oneBad := cat.MustEvent("MEM_INST_RETIRED.ALL_STORES")
+			tr.Series[oneBad][7] = bad
+
+			cfg := DefaultMuxConfig()
+			cfg.GumbelReject = reject
+			res := Multiplex(tr, cfg, rng.New(3))
+			if est := res.Est[allBad]; est.N != 0 {
+				t.Errorf("reject=%v bad=%v: fully corrupted event has N=%d, want 0", reject, bad, est.N)
+			}
+			// Every estimate that exists is finite and usable.
+			for id, est := range res.Est {
+				if est.N == 0 {
+					continue
+				}
+				if math.IsNaN(est.Total) || math.IsInf(est.Total, 0) ||
+					math.IsNaN(est.Std) || math.IsInf(est.Std, 0) || est.Std <= 0 {
+					t.Errorf("reject=%v bad=%v: event %d estimate poisoned: total=%v std=%v",
+						reject, bad, id, est.Total, est.Std)
+				}
+			}
+		}
+	}
+}
+
 func TestMultiplexDeterminism(t *testing.T) {
 	cat := uarch.Skylake()
 	tr := GroundTruth(cat, DefaultWorkload(30), rng.New(5))

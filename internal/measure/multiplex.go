@@ -246,6 +246,12 @@ func Multiplex(tr *Trace, cfg MuxConfig, r *rng.Rand) *MuxResult {
 			if cfg.OutlierProb > 0 && r.Float64() < cfg.OutlierProb {
 				noisy *= 1 + cfg.OutlierMag
 			}
+			if math.IsNaN(noisy) || math.IsInf(noisy, 0) {
+				// Corrupted reading (mirrors the stream layer's ingestion
+				// guard): drop it regardless of the Gumbel switch — one
+				// NaN would otherwise poison the whole estimate.
+				continue
+			}
 			xs = append(xs, noisy)
 		}
 		counted := len(xs)
@@ -257,6 +263,8 @@ func Multiplex(tr *Trace, cfg MuxConfig, r *rng.Rand) *MuxResult {
 		}
 		rejected := 0
 		if cfg.GumbelReject {
+			// xs holds only finite readings (corrupted ones were dropped
+			// at collection), so the filter always keeps at least one.
 			xs, rejected = stats.GumbelFilterMax(xs, cfg.RejectQuantile())
 		}
 		n := len(xs)

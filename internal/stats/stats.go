@@ -122,12 +122,22 @@ func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics. It copies xs; the input is not
-// modified. Quantile of an empty slice is 0.
+// modified. NaN samples are dropped up front — sort.Float64s leaves them
+// in an arbitrary position, which would silently shift every order
+// statistic. Quantile of an empty slice is 0; of an all-NaN slice, NaN.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	if len(s) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(s)
 	if q <= 0 {
 		return s[0]
@@ -334,34 +344,52 @@ func GumbelFitMoments(xs []float64) (mu, beta float64) {
 // of per-interval counter readings: fit Gumbel(mu, beta) by moments, then
 // reject every reading above the q-quantile of the fitted law (a reading
 // that extreme among n i.i.d. samples indicates OS interference or counter
-// corruption rather than workload behavior). It returns the surviving
-// readings in their original order and the number rejected; when nothing is
-// rejected, the input slice itself is returned. Samples too small to fit
-// (n < 4) and degenerate q are passed through untouched.
+// corruption rather than workload behavior). NaN readings are the most
+// corrupted of all and are rejected up front — left in, one NaN poisons
+// the moment fit and makes every x > thr comparison false, silently
+// keeping the whole sample. It returns the surviving readings in their
+// original order and the number rejected; when nothing is rejected, the
+// input slice itself is returned. Samples too small to fit (n < 4) and
+// degenerate q are passed through untouched (minus any NaNs).
 func GumbelFilterMax(xs []float64, q float64) (kept []float64, rejected int) {
-	if len(xs) < 4 || q <= 0 || q >= 1 {
-		return xs, 0
+	clean := xs
+	nan := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			nan++
+		}
 	}
-	mu, beta := GumbelFitMoments(xs)
+	if nan > 0 {
+		clean = make([]float64, 0, len(xs)-nan)
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+	}
+	if len(clean) < 4 || q <= 0 || q >= 1 {
+		return clean, nan
+	}
+	mu, beta := GumbelFitMoments(clean)
 	if beta <= 0 { // constant sample: nothing can be an outlier
-		return xs, 0
+		return clean, nan
 	}
 	thr := GumbelQuantile(q, mu, beta)
-	for _, x := range xs {
+	for _, x := range clean {
 		if x > thr {
 			rejected++
 		}
 	}
-	if rejected == 0 || rejected == len(xs) {
-		return xs, 0
+	if rejected == 0 || rejected == len(clean) {
+		return clean, nan
 	}
-	kept = make([]float64, 0, len(xs)-rejected)
-	for _, x := range xs {
+	kept = make([]float64, 0, len(clean)-rejected)
+	for _, x := range clean {
 		if x <= thr {
 			kept = append(kept, x)
 		}
 	}
-	return kept, rejected
+	return kept, rejected + nan
 }
 
 // --- Regularized incomplete beta (for the t CDF) ---

@@ -100,6 +100,28 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileNaN is the NaN-hardening regression test: NaN samples used
+// to poison sort.Float64s ordering and shift every order statistic.
+func TestQuantileNaN(t *testing.T) {
+	// NaNs mixed in must not change the result.
+	xs := []float64{5, math.NaN(), 1, 3, math.NaN(), 2, 4}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5},
+	} {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) with NaNs = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// All-NaN input signals corruption instead of inventing a 0.
+	if got := Quantile([]float64{math.NaN(), math.NaN()}, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(all-NaN) = %v, want NaN", got)
+	}
+	// Empty input keeps its documented 0.
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+}
+
 func TestMedianInterpolates(t *testing.T) {
 	if got := Median([]float64{1, 2, 3, 4}); !almostEq(got, 2.5, 1e-12) {
 		t.Errorf("Median = %v, want 2.5", got)
@@ -275,6 +297,42 @@ func TestGumbelFilterMaxPassThrough(t *testing.T) {
 	constant := []float64{5, 5, 5, 5, 5, 5}
 	if _, rejected = GumbelFilterMax(constant, 0.9); rejected != 0 {
 		t.Error("constant sample was filtered")
+	}
+}
+
+// TestGumbelFilterMaxNaN is the NaN-hardening regression test: a NaN
+// reading used to poison the moment fit and make every x > thr comparison
+// false, silently keeping the whole corrupted sample.
+func TestGumbelFilterMaxNaN(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Gaussian(1000, 30)
+	}
+	xs[17] *= 8 // spike the filter must still catch
+	xs[50] = math.NaN()
+	xs[51] = math.NaN()
+	kept, rejected := GumbelFilterMax(xs, 0.995)
+	if rejected != 3 {
+		t.Fatalf("rejected %d samples, want 3 (2 NaN + 1 spike)", rejected)
+	}
+	if len(kept) != len(xs)-3 {
+		t.Fatalf("kept %d of %d", len(kept), len(xs))
+	}
+	for _, x := range kept {
+		if math.IsNaN(x) || x > 5000 {
+			t.Errorf("corrupted reading %v survived the filter", x)
+		}
+	}
+	// NaNs alone are rejected even when the remainder is too small to fit.
+	kept, rejected = GumbelFilterMax([]float64{1, math.NaN(), 2}, 0.995)
+	if rejected != 1 || len(kept) != 2 {
+		t.Errorf("tiny sample: kept %v rejected %d, want 2 kept / 1 rejected", kept, rejected)
+	}
+	// An all-NaN sample rejects everything.
+	kept, rejected = GumbelFilterMax([]float64{math.NaN(), math.NaN()}, 0.995)
+	if rejected != 2 || len(kept) != 0 {
+		t.Errorf("all-NaN sample: kept %v rejected %d", kept, rejected)
 	}
 }
 

@@ -121,6 +121,17 @@ type Result struct {
 	// NaiveRaw is the live multiplexed baseline: per interval, each
 	// event's most recent counted sample (sample-and-hold extrapolation).
 	NaiveRaw []timeseries.Series
+	// Derived-event posterior series (§2 "Errors in Derived Events"),
+	// indexed like the catalog's Derived slice. DerivedCorrected evaluates
+	// each formula at the stitched posterior mean per interval;
+	// DerivedCorrectedStd is the first-order delta-method std propagated
+	// from CorrectedStd through the formula's gradient at that point.
+	// DerivedWindowedRaw and DerivedNaive push the two baselines through
+	// the same formulas, so the three estimators stay comparable.
+	DerivedCorrected    []timeseries.Series
+	DerivedCorrectedStd []timeseries.Series
+	DerivedWindowedRaw  []timeseries.Series
+	DerivedNaive        []timeseries.Series
 	// PostRelStd pools each window's posterior relative std over all
 	// events — the uncertainty metric the adaptive scheduler minimizes.
 	PostRelStd stats.Running
@@ -279,6 +290,9 @@ func (e *Engine) worker(wi int) {
 // is snapshotted and dispatched to the pool.
 func (e *Engine) Ingest(s measure.IntervalSample) {
 	for i, id := range s.Events {
+		if !finite(s.Values[i]) {
+			continue // corrupted reading: keep it out of the naive series
+		}
 		e.lastVal[id] = s.Values[i]
 		if e.firstT[id] < 0 {
 			e.firstT[id] = e.ingested
@@ -303,6 +317,9 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 	// filtered, covers its interval instead).
 	for i, id := range s.Events {
 		v := s.Values[i]
+		if !finite(v) {
+			continue // corrupted reading: no live-precision fusion either
+		}
 		if e.cfg.Mux.GumbelReject && e.win.lastIsOutlier(id, e.cfg.Mux.RejectQuantile()) {
 			continue
 		}
@@ -547,7 +564,47 @@ func (e *Engine) Finish() *Result {
 		res.WindowedRaw[id] = raw
 		res.NaiveRaw[id] = naive
 	}
+	e.stitchDerived(res)
 	return res
+}
+
+// stitchDerived rides the derived-event formulas on top of the stitched
+// per-event series: the corrected posterior (mean via the formula at the
+// posterior mean, std via the delta method over the stitched posterior
+// stds) plus the windowed-raw and naive baselines through the same
+// formulas. Runs once at Finish; derived ratios are scale-free, so
+// per-interval rates feed them directly.
+func (e *Engine) stitchDerived(res *Result) {
+	nd := len(e.cat.Derived)
+	res.DerivedCorrected = make([]timeseries.Series, nd)
+	res.DerivedCorrectedStd = make([]timeseries.Series, nd)
+	res.DerivedWindowedRaw = make([]timeseries.Series, nd)
+	res.DerivedNaive = make([]timeseries.Series, nd)
+	for di := range e.cat.Derived {
+		d := &e.cat.Derived[di]
+		in := make([]float64, len(d.Inputs))
+		sd := make([]float64, len(d.Inputs))
+		corr := make(timeseries.Series, e.ingested)
+		cstd := make(timeseries.Series, e.ingested)
+		for t := 0; t < e.ingested; t++ {
+			for i, id := range d.Inputs {
+				in[i] = res.Corrected[id][t]
+				sd[i] = res.CorrectedStd[id][t]
+			}
+			corr[t] = d.Eval(in)
+			cstd[t] = d.PropagateStd(in, sd)
+		}
+		res.DerivedCorrected[di] = corr
+		res.DerivedCorrectedStd[di] = cstd
+		gatherRaw := make([]timeseries.Series, len(d.Inputs))
+		gatherNaive := make([]timeseries.Series, len(d.Inputs))
+		for i, id := range d.Inputs {
+			gatherRaw[i] = res.WindowedRaw[id]
+			gatherNaive[i] = res.NaiveRaw[id]
+		}
+		res.DerivedWindowedRaw[di] = timeseries.Map(d.Eval, gatherRaw...)
+		res.DerivedNaive[di] = timeseries.Map(d.Eval, gatherNaive...)
+	}
 }
 
 // RunTrace streams a ground-truth trace through sampler → engine end to

@@ -78,6 +78,116 @@ func TestWindowIncrementalMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestSnapshotDispFloor is the regression test for the lone-sample
+// dispersion hole: a single zero-valued reading used to produce disp = 0,
+// which the stitcher's predictive precision read as "this window predicts
+// that interval perfectly". disp must be floored like obsStd is.
+func TestSnapshotDispFloor(t *testing.T) {
+	cat := uarch.Skylake()
+	mux := measure.DefaultMuxConfig()
+	loads := cat.MustEvent("MEM_INST_RETIRED.ALL_LOADS")
+
+	// One interval, one event, reading 0.
+	w := NewWindow(cat, 8)
+	w.Push(measure.IntervalSample{T: 0, Events: []uarch.EventID{loads}, Values: []float64{0}})
+	job := w.snapshot(0, mux)
+	if !job.observed[loads] {
+		t.Fatal("zero-valued event not observed")
+	}
+	if job.disp[loads] != 1 {
+		t.Errorf("lone zero sample disp = %v, want unit-count floor 1", job.disp[loads])
+	}
+
+	// A constant run of zeros must not claim perfection either.
+	w = NewWindow(cat, 8)
+	for ti := 0; ti < 5; ti++ {
+		w.Push(measure.IntervalSample{T: ti, Events: []uarch.EventID{loads}, Values: []float64{0}})
+	}
+	if job = w.snapshot(0, mux); job.disp[loads] != 1 {
+		t.Errorf("constant-zero disp = %v, want 1", job.disp[loads])
+	}
+
+	// A lone nonzero sample keeps its maximally-vague |mean| dispersion.
+	w = NewWindow(cat, 8)
+	w.Push(measure.IntervalSample{T: 0, Events: []uarch.EventID{loads}, Values: []float64{5e6}})
+	if job = w.snapshot(0, mux); job.disp[loads] != 5e6 {
+		t.Errorf("lone nonzero sample disp = %v, want |mean| = 5e6", job.disp[loads])
+	}
+}
+
+// TestSnapshotAllNaNWindow: with Gumbel rejection on, a window whose every
+// reading of an event is NaN must mark the event unobserved (the
+// invariants infer it) instead of shipping NaN observations to the graph.
+func TestSnapshotAllNaNWindow(t *testing.T) {
+	cat := uarch.Skylake()
+	mux := measure.DefaultMuxConfig()
+	mux.GumbelReject = true
+	loads := cat.MustEvent("MEM_INST_RETIRED.ALL_LOADS")
+	w := NewWindow(cat, 8)
+	for ti := 0; ti < 5; ti++ {
+		w.Push(measure.IntervalSample{T: ti, Events: []uarch.EventID{loads}, Values: []float64{math.NaN()}})
+	}
+	job := w.snapshot(0, mux)
+	if job.observed[loads] {
+		t.Errorf("all-NaN event marked observed (obsMean=%v obsStd=%v)",
+			job.obsMean[loads], job.obsStd[loads])
+	}
+}
+
+// TestStreamTransientCorruption: a single corrupted reading (NaN or Inf)
+// must not poison the window's running sums after it slides out
+// (sum + NaN − NaN, and Inf − Inf on eviction, would stay NaN forever),
+// the naive series, or the live fusion — with or without Gumbel rejection
+// the engine must neither panic nor emit non-finite values.
+func TestStreamTransientCorruption(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		cat := uarch.Skylake()
+		tr := measure.GroundTruth(cat, measure.DefaultWorkload(30), rng.New(3))
+		// Poison one reading of a fixed counter (counted every interval,
+		// so the corruption is guaranteed to enter and leave the window).
+		id := cat.MustEvent("INST_RETIRED.ANY")
+		tr.Series[id][11] = bad
+		for _, reject := range []bool{false, true} {
+			cfg := testConfig(2)
+			cfg.Mux.GumbelReject = reject
+			res := RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(5))
+			for eid := range res.Corrected {
+				for _, series := range [][]float64{
+					res.Corrected[eid], res.CorrectedStd[eid],
+					res.WindowedRaw[eid], res.NaiveRaw[eid],
+				} {
+					for ti, v := range series {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatalf("bad=%v gumbel=%v event %d interval %d leaked %v",
+								bad, reject, eid, ti, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowTransientNaNSums: unit-level form of the poisoned-ring bug —
+// after a NaN reading is evicted, the snapshot must be finite again.
+func TestWindowTransientNaNSums(t *testing.T) {
+	cat := uarch.Skylake()
+	loads := cat.MustEvent("MEM_INST_RETIRED.ALL_LOADS")
+	w := NewWindow(cat, 4)
+	w.Push(measure.IntervalSample{T: 0, Events: []uarch.EventID{loads}, Values: []float64{math.NaN()}})
+	for ti := 1; ti < 8; ti++ { // slide far enough to evict the NaN
+		w.Push(measure.IntervalSample{T: ti, Events: []uarch.EventID{loads}, Values: []float64{1e6}})
+	}
+	job := w.snapshot(0, measure.DefaultMuxConfig())
+	if !job.observed[loads] {
+		t.Fatal("event with finite samples not observed")
+	}
+	if math.IsNaN(job.obsMean[loads]) || math.IsNaN(job.obsStd[loads]) || math.IsNaN(job.disp[loads]) {
+		t.Errorf("evicted NaN poisoned the snapshot: mean=%v std=%v disp=%v",
+			job.obsMean[loads], job.obsStd[loads], job.disp[loads])
+	}
+}
+
 // TestPosteriorBeatsObservationsPerWindow isolates the inference layer at
 // the resolution it operates on: across every emitted window, the
 // posterior's window-total error must be well below the raw observations'.
@@ -215,6 +325,76 @@ func TestStreamCorrectsLiveTrace(t *testing.T) {
 		// TestPosteriorBeatsObservationsPerWindow).
 		if corrected.Mean() >= 1.02*windowed.Mean() {
 			t.Errorf("%s: corrected aligned error %.4f%% regresses windowed raw %.4f%%",
+				cat.Arch, 100*corrected.Mean(), 100*windowed.Mean())
+		}
+	}
+}
+
+// derivedTruth evaluates one derived formula over the ground-truth trace's
+// per-interval rates.
+func derivedTruth(tr *measure.Trace, d *uarch.Derived) timeseries.Series {
+	gather := make([]timeseries.Series, len(d.Inputs))
+	for i, id := range d.Inputs {
+		gather[i] = tr.Series[id]
+	}
+	return timeseries.Map(d.Eval, gather...)
+}
+
+// TestStreamDerivedSeries is the tentpole's §6.2 result at the stream
+// level: every emitted interval carries each derived event's posterior
+// (mean ± std), the stds are strictly positive, and the corrected derived
+// series beats both baselines on DTW-aligned error — by more than the raw
+// events do, since ratio numerator/denominator errors no longer compound.
+func TestStreamDerivedSeries(t *testing.T) {
+	for _, cat := range uarch.Catalogs() {
+		r := rng.New(42)
+		tr := measure.GroundTruth(cat, measure.DefaultWorkload(100), r.Split())
+		res := RunTrace(tr, measure.NewRoundRobin(cat), testConfig(0), r.Split())
+		if got := len(res.DerivedCorrected); got != len(cat.Derived) {
+			t.Fatalf("%s: %d derived series, want %d", cat.Arch, got, len(cat.Derived))
+		}
+		var naive, windowed, corrected stats.Running
+		for di := range cat.Derived {
+			d := &cat.Derived[di]
+			for _, s := range []timeseries.Series{
+				res.DerivedCorrected[di], res.DerivedCorrectedStd[di],
+				res.DerivedWindowedRaw[di], res.DerivedNaive[di],
+			} {
+				if len(s) != res.Intervals {
+					t.Fatalf("%s/%s: series length %d, want %d", cat.Arch, d.Name, len(s), res.Intervals)
+				}
+			}
+			for ti, v := range res.DerivedCorrectedStd[di] {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%s: posterior std[%d] = %v, want > 0", cat.Arch, d.Name, ti, v)
+				}
+			}
+			truth := derivedTruth(tr, d)
+			band := res.Intervals / 4
+			ne, err := timeseries.AlignedRelError(truth, res.DerivedNaive[di], band, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			we, err := timeseries.AlignedRelError(truth, res.DerivedWindowedRaw[di], band, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce, err := timeseries.AlignedRelError(truth, res.DerivedCorrected[di], band, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive.Add(ne)
+			windowed.Add(we)
+			corrected.Add(ce)
+		}
+		t.Logf("%s derived aligned err: naive %.3f%% windowed %.3f%% corrected %.3f%%",
+			cat.Arch, 100*naive.Mean(), 100*windowed.Mean(), 100*corrected.Mean())
+		if corrected.Mean() >= naive.Mean() {
+			t.Errorf("%s: corrected derived aligned error %.4f%% not below naive %.4f%%",
+				cat.Arch, 100*corrected.Mean(), 100*naive.Mean())
+		}
+		if corrected.Mean() >= windowed.Mean() {
+			t.Errorf("%s: corrected derived aligned error %.4f%% not below windowed raw %.4f%%",
 				cat.Arch, 100*corrected.Mean(), 100*windowed.Mean())
 		}
 	}

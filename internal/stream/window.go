@@ -100,14 +100,23 @@ func (w *Window) Span() (start, end int) {
 	return start, start + w.n
 }
 
+// finite reports whether x is a usable reading (neither NaN nor ±Inf).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // Push slides the window forward by one interval: the oldest interval's
 // samples are retired (once the window is full) and the new interval's
-// counted values are folded in.
+// counted values are folded in. Non-finite readings (counter corruption)
+// never enter the rings: a single NaN — or an Inf, whose eviction leaves
+// Inf − Inf = NaN behind — would permanently poison the running sums long
+// after the reading itself slid out of the window. The skip is mirrored
+// on the eviction side so push/pop stay symmetric.
 func (w *Window) Push(s measure.IntervalSample) {
 	if w.n == w.size {
 		old := w.samples[w.head]
-		for _, id := range old.Events {
-			w.ev[id].pop()
+		for i, id := range old.Events {
+			if finite(old.Values[i]) {
+				w.ev[id].pop()
+			}
 		}
 		w.head = (w.head + 1) % w.size
 		w.n--
@@ -115,7 +124,9 @@ func (w *Window) Push(s measure.IntervalSample) {
 	w.samples[(w.head+w.n)%w.size] = s
 	w.n++
 	for i, id := range s.Events {
-		w.ev[id].push(s.Values[i])
+		if finite(s.Values[i]) {
+			w.ev[id].push(s.Values[i])
+		}
 	}
 }
 
@@ -181,10 +192,15 @@ func (w *Window) snapshot(index int, mux measure.MuxConfig) windowJob {
 	for id := range w.ev {
 		er := &w.ev[id]
 		if er.n == 0 {
-			continue // never counted in this window: the invariants infer it
+			// Never counted in this window — including the case where
+			// every reading was corrupted (non-finite values are dropped
+			// in Push): the invariants infer the event.
+			continue
 		}
 		n, sum, sq, ssd := er.n, er.sum, er.sq, er.ssd
 		if mux.GumbelReject {
+			// The rings hold only finite values, so the filter always
+			// keeps at least one reading.
 			kept, rejected := stats.GumbelFilterMax(er.ordered(w.scratch), mux.RejectQuantile())
 			if rejected > 0 {
 				n, sum, sq, ssd = len(kept), 0, 0, 0
@@ -206,6 +222,16 @@ func (w *Window) snapshot(index int, mux measure.MuxConfig) windowJob {
 			disp = math.Sqrt(math.Max(sq-sum*sum/float64(n), 0) / float64(n-1))
 		} else {
 			disp = math.Abs(mean) // a lone sample: stay maximally vague
+		}
+		// Floor disp the same way obsStd is floored below: a lone zero
+		// sample (or a constant run of zeros) would otherwise leave
+		// disp = 0 and let the stitcher treat the window as a perfect
+		// predictor of every interval it covers.
+		if floor := mux.StdFloorFrac * math.Abs(mean); disp < floor {
+			disp = floor
+		}
+		if disp == 0 {
+			disp = 1 // all-zero event: unit count dispersion
 		}
 		switch {
 		case n < 2:

@@ -64,17 +64,23 @@ func Skylake() *Catalog {
 		"OFFCORE demand-read L3 misses = retired load L3 misses",
 		Term{offL3Miss, 1}, Term{l3Miss, -1})
 
-	// Derived events (§2 "Errors in Derived Events", §6.2).
+	// Derived events (§2 "Errors in Derived Events", §6.2). The ratios
+	// declare analytic gradients so posterior uncertainty propagates
+	// through the delta method exactly; Backend_Bound deliberately leaves
+	// Grad nil and exercises the central-difference fallback in production.
 	cyc := c.MustEvent("CPU_CLK_UNHALTED.THREAD")
-	c.derived("IPC", "instructions per core cycle",
+	c.derivedGrad("IPC", "instructions per core cycle",
 		[]EventID{inst, cyc},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
-	c.derived("L3_MPKI", "L3 misses per kilo-instruction",
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
+		ratioGrad(1))
+	c.derivedGrad("L3_MPKI", "L3 misses per kilo-instruction",
 		[]EventID{l3Miss, inst},
-		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) })
-	c.derived("Branch_Misp_Rate", "mispredictions per retired branch",
+		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) },
+		ratioGrad(1000))
+	c.derivedGrad("Branch_Misp_Rate", "mispredictions per retired branch",
 		[]EventID{misp, branches},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
+		ratioGrad(1))
 	c.derived("Backend_Bound", "fraction of cycle-slots stalled behind memory (top-down proxy: weighted L2/L3/DRAM load latency over total slots)",
 		[]EventID{l2Hit, l3Hit, l3Miss, cyc},
 		func(in []float64) float64 {
@@ -119,15 +125,18 @@ func Power9() *Catalog {
 		"PM_LD_MISS_L1 = FROM_L2 + FROM_L3 + FROM_MEM",
 		Term{l1Miss, 1}, Term{fromL2, -1}, Term{fromL3, -1}, Term{fromMem, -1})
 
-	c.derived("IPC", "instructions per run cycle",
+	c.derivedGrad("IPC", "instructions per run cycle",
 		[]EventID{inst, cyc},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
-	c.derived("DL1_MPKI", "L1D misses per kilo-instruction",
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
+		ratioGrad(1))
+	c.derivedGrad("DL1_MPKI", "L1D misses per kilo-instruction",
 		[]EventID{l1Miss, inst},
-		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) })
-	c.derived("Branch_Misp_Rate", "mispredictions per completed branch",
+		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) },
+		ratioGrad(1000))
+	c.derivedGrad("Branch_Misp_Rate", "mispredictions per completed branch",
 		[]EventID{misp, branches},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) })
+		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
+		ratioGrad(1))
 
 	if err := c.Validate(); err != nil {
 		panic(err)

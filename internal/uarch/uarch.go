@@ -15,6 +15,7 @@ package uarch
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // EventID indexes an event within one catalog. IDs are dense from 0.
@@ -86,7 +87,55 @@ type Derived struct {
 	// Eval computes the derived value from the input event values, in
 	// Inputs order.
 	Eval func(in []float64) float64
+	// Grad, when declared, returns ∂Eval/∂inᵢ at in, in Inputs order.
+	// Formulas without an analytic gradient fall back to a central finite
+	// difference in Gradient.
+	Grad func(in []float64) []float64
 	Desc string
+}
+
+// Gradient returns ∂Eval/∂inᵢ at in (Inputs order): the declared analytic
+// gradient when present, otherwise a central finite difference with a
+// per-coordinate step h = ε·max(|inᵢ|, 1). The fallback is exact for the
+// linear-fractional formulas used in the catalogs up to O(h²).
+func (d *Derived) Gradient(in []float64) []float64 {
+	if d.Grad != nil {
+		return d.Grad(in)
+	}
+	const eps = 1e-6
+	g := make([]float64, len(in))
+	x := append([]float64(nil), in...)
+	for i := range x {
+		h := eps * math.Max(math.Abs(x[i]), 1)
+		orig := x[i]
+		x[i] = orig + h
+		fp := d.Eval(x)
+		x[i] = orig - h
+		fm := d.Eval(x)
+		x[i] = orig
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// PropagateStd applies the first-order delta method at the point in: the
+// std of Eval given per-input stds, treating the inputs as independent
+// (the factor graph exposes marginals only, so cross-covariances are not
+// available; the diagonal approximation is conservative for the
+// negatively-correlated ratio formulas here). Non-finite gradient
+// components — e.g. a finite difference straddling safeDiv's zero-
+// denominator guard — contribute nothing instead of poisoning the result.
+func (d *Derived) PropagateStd(in, std []float64) float64 {
+	g := d.Gradient(in)
+	var v float64
+	for i, gi := range g {
+		if math.IsNaN(gi) || math.IsInf(gi, 0) {
+			continue
+		}
+		t := gi * std[i]
+		v += t * t
+	}
+	return math.Sqrt(v)
 }
 
 // Catalog is the complete event model for one CPU architecture.
@@ -146,6 +195,12 @@ func (c *Catalog) relation(name string, relTol float64, desc string, terms ...Te
 
 func (c *Catalog) derived(name, desc string, inputs []EventID, eval func([]float64) float64) {
 	c.Derived = append(c.Derived, Derived{Name: name, Inputs: inputs, Eval: eval, Desc: desc})
+}
+
+// derivedGrad registers a derived event together with its analytic gradient.
+func (c *Catalog) derivedGrad(name, desc string, inputs []EventID,
+	eval func([]float64) float64, grad func([]float64) []float64) {
+	c.Derived = append(c.Derived, Derived{Name: name, Inputs: inputs, Eval: eval, Grad: grad, Desc: desc})
 }
 
 // Lookup returns the EventID for name, or InvalidEvent if unknown.
@@ -225,6 +280,13 @@ func (c *Catalog) Validate() error {
 	if c.NumFixed < 0 || c.NumProg <= 0 {
 		return fmt.Errorf("uarch: %s: need at least one programmable counter", c.Arch)
 	}
+	// CounterMask is a uint, so a catalog can address at most UintSize−1
+	// programmable counters; beyond that the full-mask shift below would
+	// overflow and mask validation would silently accept garbage.
+	if c.NumProg > bits.UintSize-1 {
+		return fmt.Errorf("uarch: %s: NumProg %d exceeds the %d counters addressable by a counter mask",
+			c.Arch, c.NumProg, bits.UintSize-1)
+	}
 	fullMask := uint(1)<<uint(c.NumProg) - 1
 	fixedSeen := make(map[int]string)
 	for _, e := range c.Events {
@@ -287,6 +349,22 @@ func (c *Catalog) EvalDerived(d *Derived, vals []float64) float64 {
 	return d.Eval(in)
 }
 
+// PosteriorFrom computes the derived event's (mean, std) from full
+// per-event posterior mean and std vectors (indexed by EventID): the value
+// at the posterior mean and the delta-method std (PropagateStd). It is the
+// single gather point shared by the batch (graph.Result) and any
+// vector-shaped caller, so a future covariance-aware propagation lands in
+// one place.
+func (d *Derived) PosteriorFrom(mean, std []float64) (dMean, dStd float64) {
+	in := make([]float64, len(d.Inputs))
+	sd := make([]float64, len(d.Inputs))
+	for i, id := range d.Inputs {
+		in[i] = mean[id]
+		sd[i] = std[id]
+	}
+	return d.Eval(in), d.PropagateStd(in, sd)
+}
+
 // anyCtr returns the "any programmable counter" mask for n counters.
 func anyCtr(n int) uint { return uint(1)<<uint(n) - 1 }
 
@@ -301,4 +379,18 @@ func safeDiv(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// ratioGrad returns the analytic gradient of the scaled ratio
+// f(a, b) = k·a/b under safeDiv's zero-denominator guard: (k/b, −k·a/b²),
+// and the guard's flat (0, 0) at b = 0 — a zero denominator carries no
+// first-order information.
+func ratioGrad(k float64) func(in []float64) []float64 {
+	return func(in []float64) []float64 {
+		a, b := in[0], in[1]
+		if b == 0 {
+			return []float64{0, 0}
+		}
+		return []float64{k / b, -k * a / (b * b)}
+	}
 }

@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"math"
+	"math/bits"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,29 @@ func TestValidateErrorPaths(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestValidateRejectsOversizedNumProg is the regression test for the
+// full-mask overflow: CounterMask is a uint, so NumProg beyond UintSize−1
+// cannot be validated (the shift 1<<NumProg wraps) and must be rejected
+// instead of silently accepting arbitrary masks.
+func TestValidateRejectsOversizedNumProg(t *testing.T) {
+	for _, numProg := range []int{bits.UintSize - 1, bits.UintSize, bits.UintSize + 1, 2 * bits.UintSize} {
+		c := newCatalog("test-arch", 0, numProg, 0)
+		c.prog("PROG_A", 1, "")
+		err := c.Validate()
+		if numProg <= bits.UintSize-1 {
+			if err != nil {
+				t.Errorf("NumProg=%d rejected: %v", numProg, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("NumProg=%d accepted despite overflowing the counter mask", numProg)
+		} else if !strings.Contains(err.Error(), "addressable") {
+			t.Errorf("NumProg=%d error %q does not mention mask addressability", numProg, err)
+		}
 	}
 }
 
@@ -286,5 +310,121 @@ func TestEvalDerived(t *testing.T) {
 	want := v[c.MustEvent("INST_RETIRED.ANY")] / v[c.MustEvent("CPU_CLK_UNHALTED.THREAD")]
 	if math.Abs(ipc-want) > 1e-12 {
 		t.Errorf("IPC = %v, want %v", ipc, want)
+	}
+}
+
+// TestGradientAnalyticMatchesFallback checks, for every derived event in
+// both catalogs, that the declared analytic gradient agrees with the
+// central-difference fallback at a consistent operating point — and that
+// formulas without a declared gradient (Backend_Bound) produce a finite
+// fallback gradient.
+func TestGradientAnalyticMatchesFallback(t *testing.T) {
+	for _, tc := range []struct {
+		cat  *Catalog
+		vals []float64
+	}{
+		{Skylake(), nil}, {Power9(), nil},
+	} {
+		if tc.cat.Arch == "x86_64-skylake" {
+			tc.vals = consistentSkylake(tc.cat)
+		} else {
+			tc.vals = consistentPower9(tc.cat)
+		}
+		for di := range tc.cat.Derived {
+			d := &tc.cat.Derived[di]
+			in := make([]float64, len(d.Inputs))
+			for i, id := range d.Inputs {
+				in[i] = tc.vals[id]
+			}
+			got := d.Gradient(in)
+			// Strip the analytic gradient and re-derive numerically.
+			numeric := Derived{Name: d.Name, Inputs: d.Inputs, Eval: d.Eval}
+			want := numeric.Gradient(in)
+			for i := range got {
+				if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+					t.Errorf("%s/%s: gradient[%d] = %v", tc.cat.Arch, d.Name, i, got[i])
+				}
+				tol := 1e-4 * math.Max(math.Abs(want[i]), 1e-300)
+				if math.Abs(got[i]-want[i]) > tol {
+					t.Errorf("%s/%s: gradient[%d] = %g, central difference %g",
+						tc.cat.Arch, d.Name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPropagateStdGoldenIPC is the golden delta-method check: for
+// IPC = I/C with I = 1e9 ± 1e7 and C = 8e8 ± 4e6, the propagated std must
+// equal the hand-computed √((σ_I/C)² + (I·σ_C/C²)²).
+func TestPropagateStdGoldenIPC(t *testing.T) {
+	c := Skylake()
+	d := c.DerivedByName("IPC")
+	const (
+		instr, sigI = 1.0e9, 1.0e7
+		cyc, sigC   = 8.0e8, 4.0e6
+	)
+	got := d.PropagateStd([]float64{instr, cyc}, []float64{sigI, sigC})
+	want := math.Sqrt(math.Pow(sigI/cyc, 2) + math.Pow(instr*sigC/(cyc*cyc), 2))
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("IPC propagated std = %g, hand-computed %g", got, want)
+	}
+	// Sanity: the relative std of a ratio of ~1%-and-0.5%-accurate inputs
+	// lands near √(1%² + 0.5%²).
+	ipc := d.Eval([]float64{instr, cyc})
+	rel := got / ipc
+	if rel < 0.010 || rel > 0.013 {
+		t.Errorf("IPC relative std = %.4f, want ≈ 0.0112", rel)
+	}
+}
+
+// TestDerivedZeroDenominator exercises every catalog formula's safeDiv
+// guard: with an all-zero input vector the value is 0 and the propagated
+// std stays finite and non-negative (the guard's discontinuity must not
+// leak NaN/Inf through the gradient).
+func TestDerivedZeroDenominator(t *testing.T) {
+	for _, cat := range Catalogs() {
+		zeros := make([]float64, cat.NumEvents())
+		ones := make([]float64, cat.NumEvents())
+		for i := range ones {
+			ones[i] = 1
+		}
+		for di := range cat.Derived {
+			d := &cat.Derived[di]
+			if v := cat.EvalDerived(d, zeros); v != 0 {
+				t.Errorf("%s/%s: Eval at zero vector = %v, want 0", cat.Arch, d.Name, v)
+			}
+			mean, std := d.PosteriorFrom(zeros, ones)
+			if mean != 0 {
+				t.Errorf("%s/%s: PosteriorFrom mean at zero vector = %v, want 0", cat.Arch, d.Name, mean)
+			}
+			if math.IsNaN(std) || math.IsInf(std, 0) || std < 0 {
+				t.Errorf("%s/%s: PosteriorFrom std at zero vector = %v", cat.Arch, d.Name, std)
+			}
+		}
+	}
+}
+
+// TestPosteriorFromGathersInputs checks the EventID→Inputs gathering of
+// Derived.PosteriorFrom against a direct inputs-order computation.
+func TestPosteriorFromGathersInputs(t *testing.T) {
+	c := Power9()
+	v := consistentPower9(c)
+	stds := make([]float64, c.NumEvents())
+	for i := range stds {
+		stds[i] = 0.01 * math.Max(v[i], 1)
+	}
+	d := c.DerivedByName("DL1_MPKI")
+	in := []float64{v[d.Inputs[0]], v[d.Inputs[1]]}
+	sd := []float64{stds[d.Inputs[0]], stds[d.Inputs[1]]}
+	mean, std := d.PosteriorFrom(v, stds)
+	if mean != d.Eval(in) {
+		t.Errorf("PosteriorFrom mean = %v, Eval = %v", mean, d.Eval(in))
+	}
+	if want := d.PropagateStd(in, sd); math.Abs(std-want) > 1e-15*want {
+		t.Errorf("PosteriorFrom std = %v, PropagateStd = %v", std, want)
+	}
+	if std <= 0 {
+		t.Errorf("PosteriorFrom std = %v, want > 0", std)
 	}
 }
