@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"bayesperf/internal/uarch"
+)
+
+func parseShared(t *testing.T, args ...string) *sharedFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sf := addSharedFlags(fs, 100)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+// TestResolveCatalogsUnknownArchListsChoices: the -arch error must
+// enumerate the registry's valid names, from one shared code path for both
+// subcommands.
+func TestResolveCatalogsUnknownArchListsChoices(t *testing.T) {
+	sf := parseShared(t, "-arch", "itanium")
+	_, err := resolveCatalogs(sf)
+	if err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	msg := err.Error()
+	for _, want := range append([]string{"itanium", "all"}, uarch.Names()...) {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestResolveCatalogsRegistry: named and 'all' resolution go through the
+// registry, case-insensitively.
+func TestResolveCatalogsRegistry(t *testing.T) {
+	cats, err := resolveCatalogs(parseShared(t, "-arch", "SkyLake"))
+	if err != nil || len(cats) != 1 || cats[0].Arch != "x86_64-skylake" {
+		t.Fatalf("arch skylake resolved to %v (%v)", cats, err)
+	}
+	all, err := resolveCatalogs(parseShared(t))
+	if err != nil || len(all) != len(uarch.Names()) {
+		t.Fatalf("arch all resolved to %d catalogs (%v), want %d", len(all), err, len(uarch.Names()))
+	}
+}
+
+// TestResolveCatalogsFile: -catalog loads a JSON spec file, overriding
+// -arch, and validates ground-truth models.
+func TestResolveCatalogsFile(t *testing.T) {
+	cats, err := resolveCatalogs(parseShared(t, "-catalog", "../../examples/catalogs/zen.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 1 || cats[0].Arch != "x86_64-zen3" {
+		t.Fatalf("zen spec resolved to %v", cats)
+	}
+	if _, err := resolveCatalogs(parseShared(t, "-catalog", "/no/such/file.json")); err == nil {
+		t.Error("missing catalog file accepted")
+	}
+}
+
+// TestResolveCatalogsBadIntervals: the shared interval validation rejects
+// non-positive values with an error (the subcommands turn it into exit 2).
+func TestResolveCatalogsBadIntervals(t *testing.T) {
+	if _, err := resolveCatalogs(parseShared(t, "-intervals", "0")); err == nil {
+		t.Error("zero intervals accepted")
+	}
+}

@@ -1,164 +1,54 @@
-// Command bayesperf runs the full BayesPerf pipeline end to end on the
-// built-in CPU catalogs: simulate a phase-structured workload (ground
-// truth), multiplex its events over the PMU's limited counters (raw noisy
-// estimates), correct the estimates with the invariant factor graph, and
-// report per-event relative error of raw vs. corrected — demonstrating the
-// paper's headline result that the corrected estimates are strictly more
-// accurate than naive multiplexed scaling.
+// Command bayesperf runs the full BayesPerf pipeline end to end: simulate a
+// phase-structured workload (ground truth), multiplex its events over the
+// PMU's limited counters (raw noisy estimates), correct the estimates with
+// the invariant factor graph, and report per-event relative error of raw
+// vs. corrected — demonstrating the paper's headline result that the
+// corrected estimates are strictly more accurate than naive multiplexed
+// scaling.
 //
 // Usage:
 //
 //	bayesperf [run] [-seed N] [-intervals N] [-noise F] [-maxiter N]
-//	          [-tol F] [-arch all|skylake|power9] [-derived] [-q]
+//	          [-tol F] [-arch all|<name>] [-catalog file.json]
+//	          [-derived] [-q]
 //	bayesperf stream [flags]   (see cmd/bayesperf/stream.go)
 //
 // The bare command (or the explicit run subcommand) is the batch mode
-// (whole-run totals, PR 1); the stream subcommand is the online mode:
-// sliding-window posterior inference over a live multiplexed interval
-// stream with DTW-aligned per-interval error reporting and the
-// adaptive-vs-round-robin multiplexing comparison. -derived adds the
-// derived-event evaluation (§6.2): IPC/MPKI/… with delta-method posterior
-// stds, gated on the corrected derived error beating the baseline's.
+// (whole-run totals); the stream subcommand is the online mode. Catalogs
+// resolve from the named registry (-arch skylake, power9, …) or from a JSON
+// spec file (-catalog zen.json) — the CLI is a thin adapter over the
+// embeddable pkg/bayesperf Session API, which owns all pipeline plumbing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"bayesperf/internal/graph"
 	"bayesperf/internal/measure"
-	"bayesperf/internal/rng"
 	"bayesperf/internal/stats"
 	"bayesperf/internal/uarch"
+	"bayesperf/pkg/bayesperf"
 )
 
-// relErrFloor avoids relative-error blow-ups on near-zero counts; event
-// totals here are ≥10⁵, so a floor of 1 never distorts a real error.
-const relErrFloor = 1.0
-
-// eventReport is one event's raw vs. corrected outcome.
-type eventReport struct {
-	Name     string
-	Fixed    bool
-	Coverage float64
-	Truth    float64
-	RawErr   float64
-	CorrErr  float64
-}
-
-// catalogReport is the outcome of the pipeline on one catalog.
-type catalogReport struct {
-	Arch        string
-	Groups      int
-	Iters       int
-	Converged   bool
-	Events      []eventReport
-	RawMeanErr  float64
-	CorrMeanErr float64
-	DerivedRows []derivedReport
-}
-
-type derivedReport struct {
-	Name    string
-	Truth   float64
-	Corr    float64 // derived value at the posterior mean
-	CorrStd float64 // delta-method posterior std
-	RawErr  float64
-	CorrErr float64
-}
-
-// selectCatalogs validates the flags shared by both modes and resolves the
-// -arch value, exiting with status 2 on bad input (prog prefixes the
-// message).
-func selectCatalogs(prog, arch string, intervals int) []*uarch.Catalog {
-	if intervals < 1 {
-		fmt.Fprintf(os.Stderr, "%s: -intervals must be >= 1 (got %d)\n", prog, intervals)
-		os.Exit(2)
-	}
-	switch strings.ToLower(arch) {
-	case "all":
-		return uarch.Catalogs()
-	case "skylake":
-		return []*uarch.Catalog{uarch.Skylake()}
-	case "power9":
-		return []*uarch.Catalog{uarch.Power9()}
-	}
-	fmt.Fprintf(os.Stderr, "%s: unknown -arch %q\n", prog, arch)
-	os.Exit(2)
-	return nil
-}
-
 // runCatalog executes generate → multiplex → infer → evaluate on one
-// catalog and is the unit under test for the end-to-end acceptance check.
-func runCatalog(cat *uarch.Catalog, wl measure.Workload, cfg measure.MuxConfig,
-	seed uint64, maxIter int, tol float64) catalogReport {
+// catalog through the Session API; it is the unit under test for the
+// end-to-end acceptance check.
+func runCatalog(cat *uarch.Catalog, wl measure.Workload, mux measure.MuxConfig,
+	seed uint64, maxIter int, tol float64) (*bayesperf.Report, error) {
 
-	r := rng.New(seed)
-	tr := measure.GroundTruth(cat, wl, r.Split())
-	mux := measure.Multiplex(tr, cfg, r.Split())
-	truth := tr.Totals()
-
-	g := graph.Build(cat)
-	for id, est := range mux.Est {
-		if est.N == 0 {
-			continue // never counted: let the invariants infer it
-		}
-		g.Observe(uarch.EventID(id), est.Total, est.Std)
+	sess, err := bayesperf.New(
+		bayesperf.WithCatalog(cat),
+		bayesperf.WithMux(mux),
+		bayesperf.WithInference(maxIter, tol),
+	)
+	if err != nil {
+		return nil, err
 	}
-	post := g.Infer(maxIter, tol)
-
-	rep := catalogReport{
-		Arch:      cat.Arch,
-		Groups:    len(mux.Groups),
-		Iters:     post.Iters,
-		Converged: post.Converged,
-	}
-	var raw, corr stats.Running
-	intervals := tr.Intervals()
-	for id, want := range truth {
-		ev := cat.Event(uarch.EventID(id))
-		re := stats.RelErr(mux.Est[id].Total, want, relErrFloor)
-		ce := stats.RelErr(post.Mean[id], want, relErrFloor)
-		raw.Add(re)
-		corr.Add(ce)
-		rep.Events = append(rep.Events, eventReport{
-			Name:     ev.Name,
-			Fixed:    ev.Fixed,
-			Coverage: mux.Coverage(uarch.EventID(id), intervals),
-			Truth:    want,
-			RawErr:   re,
-			CorrErr:  ce,
-		})
-	}
-	rep.RawMeanErr = raw.Mean()
-	rep.CorrMeanErr = corr.Mean()
-
-	// Derived events (§6.2): propagate raw and corrected totals through
-	// the derived formulas and compare against truth. The corrected value
-	// carries a delta-method posterior std (graph.Result.DerivedPosterior).
-	rawTotals := make([]float64, len(truth))
-	for id, est := range mux.Est {
-		rawTotals[id] = est.Total
-	}
-	for i := range cat.Derived {
-		d := &cat.Derived[i]
-		want := cat.EvalDerived(d, truth)
-		corrMean, corrStd := post.DerivedPosterior(d)
-		rep.DerivedRows = append(rep.DerivedRows, derivedReport{
-			Name:    d.Name,
-			Truth:   want,
-			Corr:    corrMean,
-			CorrStd: corrStd,
-			RawErr:  stats.RelErr(cat.EvalDerived(d, rawTotals), want, 1e-9),
-			CorrErr: stats.RelErr(corrMean, want, 1e-9),
-		})
-	}
-	return rep
+	return sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, seed))
 }
 
-func printReport(rep catalogReport, quiet, derived bool) {
+func printReport(rep *bayesperf.Report, quiet, derived bool) {
 	fmt.Printf("=== %s ===\n", rep.Arch)
 	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v)\n",
 		rep.Groups, rep.Iters, rep.Converged)
@@ -173,25 +63,25 @@ func printReport(rep catalogReport, quiet, derived bool) {
 				e.Name, kind, 100*e.Coverage, 100*e.RawErr, 100*e.CorrErr)
 		}
 		// With -derived the posterior table below subsumes these rows.
-		if len(rep.DerivedRows) > 0 && !derived {
+		if len(rep.Derived) > 0 && !derived {
 			fmt.Printf("%-42s %5s %9s %12s %12s\n", "derived event", "", "", "raw err", "corrected")
-			for _, d := range rep.DerivedRows {
+			for _, d := range rep.Derived {
 				fmt.Printf("%-42s %5s %9s %11.3f%% %11.3f%%\n",
 					d.Name, "", "", 100*d.RawErr, 100*d.CorrErr)
 			}
 		}
 	}
 	verdict := "IMPROVED"
-	if rep.CorrMeanErr >= rep.RawMeanErr {
+	if !rep.Improved() {
 		verdict = "NOT IMPROVED"
 	}
 	fmt.Printf("mean relative error: raw-multiplexed %.3f%% → bayesperf-corrected %.3f%%  [%s]\n",
 		100*rep.RawMeanErr, 100*rep.CorrMeanErr, verdict)
 	if derived {
 		fmt.Printf("derived-event posteriors (delta method over the factor-graph marginals):\n")
-		for _, d := range rep.DerivedRows {
+		for _, d := range rep.Derived {
 			fmt.Printf("  %-20s truth %10.4f   posterior %10.4f ± %.4f   raw err %7.3f%% → corrected %7.3f%%\n",
-				d.Name, d.Truth, d.Corr, d.CorrStd, 100*d.RawErr, 100*d.CorrErr)
+				d.Name, d.Truth, d.Mean, d.Std, 100*d.RawErr, 100*d.CorrErr)
 		}
 	}
 	fmt.Println()
@@ -210,21 +100,31 @@ const derivedSeeds = 11
 // re-running it would be pure waste). The loop counts members rather than
 // comparing seeds so a base seed near the top of the uint64 range still
 // yields a full ensemble (individual member seeds wrapping is harmless).
-func derivedEnsemble(base catalogReport, cat *uarch.Catalog, wl measure.Workload,
-	cfg measure.MuxConfig, seed uint64, maxIter int, tol float64) (raw, corr float64) {
+func derivedEnsemble(base *bayesperf.Report, cat *uarch.Catalog, wl measure.Workload,
+	mux measure.MuxConfig, seed uint64, maxIter int, tol float64) (raw, corr float64, err error) {
 
 	var dRaw, dCorr stats.Running
-	pool := func(rows []derivedReport) {
+	pool := func(rows []bayesperf.DerivedReport) {
 		for _, d := range rows {
 			dRaw.Add(d.RawErr)
 			dCorr.Add(d.CorrErr)
 		}
 	}
-	pool(base.DerivedRows)
+	pool(base.Derived)
 	for i := 1; i < derivedSeeds; i++ {
-		pool(runCatalog(cat, wl, cfg, seed+uint64(i), maxIter, tol).DerivedRows)
+		rep, rerr := runCatalog(cat, wl, mux, seed+uint64(i), maxIter, tol)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		pool(rep.Derived)
 	}
-	return dRaw.Mean(), dCorr.Mean()
+	return dRaw.Mean(), dCorr.Mean(), nil
+}
+
+// fatal prints the prefixed message and exits with the given status.
+func fatal(prog string, status int, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(status)
 }
 
 func main() {
@@ -236,31 +136,33 @@ func main() {
 	if len(args) > 0 && args[0] == "run" {
 		args = args[1:] // explicit alias for the default batch mode
 	}
-	seed := flag.Uint64("seed", 42, "RNG seed (whole pipeline is deterministic per seed)")
-	intervals := flag.Int("intervals", 200, "sampling intervals per workload phase")
-	noise := flag.Float64("noise", 0.01, "relative per-interval measurement noise")
-	maxIter := flag.Int("maxiter", 500, "max message-passing sweeps")
-	tol := flag.Float64("tol", 1e-9, "convergence tolerance on posterior means")
-	arch := flag.String("arch", "all", "catalog to run: all, skylake, or power9")
-	derived := flag.Bool("derived", false, "evaluate derived events (IPC, MPKI, …) with propagated posterior stds and gate on their improvement")
-	quiet := flag.Bool("q", false, "only print per-catalog summary lines")
-	flag.CommandLine.Parse(args)
+	fs := flag.NewFlagSet("bayesperf run", flag.ExitOnError)
+	sf := addSharedFlags(fs, 200)
+	fs.Parse(args)
 
-	cats := selectCatalogs("bayesperf", *arch, *intervals)
-
-	wl := measure.DefaultWorkload(*intervals)
-	cfg := measure.DefaultMuxConfig()
-	cfg.NoiseFrac = *noise
+	cats, err := resolveCatalogs(sf)
+	if err != nil {
+		fatal("bayesperf", 2, err)
+	}
+	wl := measure.DefaultWorkload(*sf.intervals)
+	mux := sf.muxConfig(false, 0)
+	maxIter, tol := sf.inference()
 
 	ok := true
 	for _, cat := range cats {
-		rep := runCatalog(cat, wl, cfg, *seed, *maxIter, *tol)
-		printReport(rep, *quiet, *derived)
-		if rep.CorrMeanErr >= rep.RawMeanErr {
+		rep, err := runCatalog(cat, wl, mux, *sf.seed, maxIter, tol)
+		if err != nil {
+			fatal("bayesperf", 1, err)
+		}
+		printReport(rep, *sf.quiet, *sf.derived)
+		if !rep.Improved() {
 			ok = false
 		}
-		if *derived {
-			dRaw, dCorr := derivedEnsemble(rep, cat, wl, cfg, *seed, *maxIter, *tol)
+		if *sf.derived {
+			dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, mux, *sf.seed, maxIter, tol)
+			if err != nil {
+				fatal("bayesperf", 1, err)
+			}
 			dVerdict := "IMPROVED"
 			if dCorr >= dRaw {
 				dVerdict = "NOT IMPROVED"

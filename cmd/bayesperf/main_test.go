@@ -6,7 +6,19 @@ import (
 	"bayesperf/internal/measure"
 	"bayesperf/internal/stats"
 	"bayesperf/internal/uarch"
+	"bayesperf/pkg/bayesperf"
 )
+
+// mustRunCatalog fails the test on pipeline errors (the CLI exits instead).
+func mustRunCatalog(t *testing.T, cat *uarch.Catalog, wl measure.Workload,
+	mux measure.MuxConfig, seed uint64, maxIter int, tol float64) *bayesperf.Report {
+	t.Helper()
+	rep, err := runCatalog(cat, wl, mux, seed, maxIter, tol)
+	if err != nil {
+		t.Fatalf("%s: %v", cat.Arch, err)
+	}
+	return rep
+}
 
 // TestDefaultRunImproves is the literal acceptance criterion: at the CLI's
 // default configuration (seed 42, 200 intervals/phase, 1% noise), the
@@ -16,7 +28,7 @@ func TestDefaultRunImproves(t *testing.T) {
 	wl := measure.DefaultWorkload(200)
 	cfg := measure.DefaultMuxConfig()
 	for _, cat := range uarch.Catalogs() {
-		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
+		rep := mustRunCatalog(t, cat, wl, cfg, 42, 500, 1e-9)
 		if !rep.Converged {
 			t.Errorf("%s: inference did not converge (%d iters)", cat.Arch, rep.Iters)
 		}
@@ -38,7 +50,7 @@ func TestCorrectionIsStatisticallyBetter(t *testing.T) {
 	for _, cat := range uarch.Catalogs() {
 		var margin stats.Running
 		for seed := uint64(1); seed <= 15; seed++ {
-			rep := runCatalog(cat, wl, cfg, seed, 500, 1e-9)
+			rep := mustRunCatalog(t, cat, wl, cfg, seed, 500, 1e-9)
 			if !rep.Converged {
 				t.Errorf("%s seed=%d: inference did not converge", cat.Arch, seed)
 			}
@@ -64,23 +76,26 @@ func TestDerivedEnsembleImproves(t *testing.T) {
 	wl := measure.DefaultWorkload(200)
 	cfg := measure.DefaultMuxConfig()
 	for _, cat := range uarch.Catalogs() {
-		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
-		dRaw, dCorr := derivedEnsemble(rep, cat, wl, cfg, 42, 500, 1e-9)
+		rep := mustRunCatalog(t, cat, wl, cfg, 42, 500, 1e-9)
+		dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, cfg, 42, 500, 1e-9)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Arch, err)
+		}
 		if dCorr >= dRaw {
 			t.Errorf("%s: pooled corrected derived err %.4f%% not below raw %.4f%%",
 				cat.Arch, 100*dCorr, 100*dRaw)
 		}
-		if len(rep.DerivedRows) != len(cat.Derived) {
-			t.Fatalf("%s: %d derived rows, want %d", cat.Arch, len(rep.DerivedRows), len(cat.Derived))
+		if len(rep.Derived) != len(cat.Derived) {
+			t.Fatalf("%s: %d derived rows, want %d", cat.Arch, len(rep.Derived), len(cat.Derived))
 		}
-		for _, d := range rep.DerivedRows {
-			if d.CorrStd <= 0 {
-				t.Errorf("%s/%s: posterior std %v, want > 0", cat.Arch, d.Name, d.CorrStd)
+		for _, d := range rep.Derived {
+			if d.Std <= 0 {
+				t.Errorf("%s/%s: posterior std %v, want > 0", cat.Arch, d.Name, d.Std)
 			}
 			// The delta-method std must be in a sane relationship to the
 			// value: neither collapsed nor wider than the value itself.
-			if d.CorrStd > d.Truth {
-				t.Errorf("%s/%s: posterior std %v exceeds the value %v", cat.Arch, d.Name, d.CorrStd, d.Truth)
+			if d.Std > d.Truth {
+				t.Errorf("%s/%s: posterior std %v exceeds the value %v", cat.Arch, d.Name, d.Std, d.Truth)
 			}
 		}
 	}
@@ -94,8 +109,11 @@ func TestDerivedEnsembleSeedWrap(t *testing.T) {
 	cfg := measure.DefaultMuxConfig()
 	cat := uarch.Skylake()
 	seed := ^uint64(0) - 3 // wraps after 4 of the 11 members
-	base := runCatalog(cat, wl, cfg, seed, 200, 1e-8)
-	dRaw, dCorr := derivedEnsemble(base, cat, wl, cfg, seed, 200, 1e-8)
+	base := mustRunCatalog(t, cat, wl, cfg, seed, 200, 1e-8)
+	dRaw, dCorr, err := derivedEnsemble(base, cat, wl, cfg, seed, 200, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dRaw <= 0 || dCorr <= 0 {
 		t.Errorf("wrapped-seed ensemble pooled nothing: raw %v corrected %v", dRaw, dCorr)
 	}
@@ -108,7 +126,7 @@ func TestHighNoiseRegime(t *testing.T) {
 	cfg := measure.DefaultMuxConfig()
 	cfg.NoiseFrac = 0.05
 	for _, cat := range uarch.Catalogs() {
-		rep := runCatalog(cat, wl, cfg, 42, 500, 1e-9)
+		rep := mustRunCatalog(t, cat, wl, cfg, 42, 500, 1e-9)
 		if rep.CorrMeanErr >= rep.RawMeanErr {
 			t.Errorf("%s: high-noise corrected err %.4f%% not below raw %.4f%%",
 				cat.Arch, 100*rep.CorrMeanErr, 100*rep.RawMeanErr)

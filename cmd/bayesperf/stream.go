@@ -5,7 +5,9 @@
 // estimators of the same stream — the naive sample-and-hold multiplexed
 // trace, the sliding-window raw extrapolation, and the BayesPerf-corrected
 // posterior — plus the adaptive-vs-round-robin multiplexing comparison and
-// a stream-vs-batch totals cross-check.
+// a stream-vs-batch totals cross-check. All pipeline plumbing lives in the
+// pkg/bayesperf Session API; this file only parses flags, forks one
+// simulated source per scheduling policy, and prints.
 package main
 
 import (
@@ -15,14 +17,13 @@ import (
 	"time"
 
 	"bayesperf/internal/measure"
-	"bayesperf/internal/rng"
-	"bayesperf/internal/stats"
 	"bayesperf/internal/stream"
-	"bayesperf/internal/timeseries"
 	"bayesperf/internal/uarch"
+	"bayesperf/pkg/bayesperf"
 )
 
-// streamReport is the outcome of the streaming pipeline on one catalog.
+// streamReport aggregates one catalog's streaming outcome across the two
+// scheduler runs and the batch cross-check.
 type streamReport struct {
 	Arch      string
 	Windows   int
@@ -35,7 +36,7 @@ type streamReport struct {
 	CorrectedAligned float64
 
 	// Whole-run totals error (batch metric) for cross-checking stream
-	// against the PR 1 batch path.
+	// against the batch path.
 	BatchCorrTotals  float64
 	StreamCorrTotals float64
 
@@ -49,155 +50,89 @@ type streamReport struct {
 	AllConverged bool
 
 	// Derived-event streaming (§6.2): DTW-aligned error of each derived
-	// series for the three estimators, plus the mean per-interval
-	// delta-method posterior std, per catalog derived event and averaged.
-	DerivedRows             []derivedStreamRow
+	// series for the three estimators, plus per-interval posterior stds.
+	DerivedRows             []bayesperf.DerivedStreamReport
 	DerivedNaiveAligned     float64
 	DerivedWindowedAligned  float64
 	DerivedCorrectedAligned float64
 }
 
-// derivedStreamRow is one derived event's streaming outcome.
-type derivedStreamRow struct {
-	Name             string
-	NaiveAligned     float64
-	WindowedAligned  float64
-	CorrectedAligned float64
-	MeanPostStd      float64 // mean per-interval posterior std
-	MinPostStd       float64 // smallest emitted std (must stay > 0)
-}
+// streamSession builds the Session for one scheduling policy from the
+// resolved stream config.
+func streamSession(cat *uarch.Catalog, cfg stream.Config, kind bayesperf.SchedulerKind,
+	derived bool) (*bayesperf.Session, error) {
 
-// derivedRelErrFloor guards the aligned relative error of derived series:
-// derived values are O(0.01–10) ratios, so the raw-event floor of 1 would
-// swallow real errors while 1e-3 only guards true near-zeros.
-const derivedRelErrFloor = 1e-3
-
-// evalDerivedStream scores one catalog's derived-event series from a
-// finished stream result against the ground-truth trace.
-func evalDerivedStream(tr *measure.Trace, res *stream.Result, band int) ([]derivedStreamRow, error) {
-	cat := tr.Cat
-	rows := make([]derivedStreamRow, 0, len(cat.Derived))
-	for di := range cat.Derived {
-		d := &cat.Derived[di]
-		gather := make([]timeseries.Series, len(d.Inputs))
-		for i, id := range d.Inputs {
-			gather[i] = tr.Series[id]
-		}
-		truth := timeseries.Map(d.Eval, gather...)
-		row := derivedStreamRow{Name: d.Name}
-		var err error
-		if row.NaiveAligned, err = timeseries.AlignedRelError(truth, res.DerivedNaive[di], band, derivedRelErrFloor); err != nil {
-			return nil, err
-		}
-		if row.WindowedAligned, err = timeseries.AlignedRelError(truth, res.DerivedWindowedRaw[di], band, derivedRelErrFloor); err != nil {
-			return nil, err
-		}
-		if row.CorrectedAligned, err = timeseries.AlignedRelError(truth, res.DerivedCorrected[di], band, derivedRelErrFloor); err != nil {
-			return nil, err
-		}
-		var stds stats.Running
-		for _, v := range res.DerivedCorrectedStd[di] {
-			stds.Add(v)
-		}
-		row.MeanPostStd = stds.Mean()
-		row.MinPostStd = stds.Min()
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-// alignedMean computes the mean DTW-aligned relative error of the target
-// series against the ground truth, over all events.
-func alignedMean(tr *measure.Trace, target []timeseries.Series, band int) (float64, error) {
-	var errs stats.Running
-	for id := range tr.Series {
-		e, err := timeseries.AlignedRelError(tr.Series[id], target[id], band, 1)
-		if err != nil {
-			return 0, err
-		}
-		errs.Add(e)
-	}
-	return errs.Mean(), nil
-}
-
-// totalsErr compares per-event series totals against the true totals.
-func totalsErr(tr *measure.Trace, series []timeseries.Series) float64 {
-	truth := tr.Totals()
-	var errs stats.Running
-	for id := range truth {
-		errs.Add(stats.RelErr(series[id].Sum(), truth[id], 1))
-	}
-	return errs.Mean()
+	return bayesperf.New(
+		bayesperf.WithCatalog(cat),
+		bayesperf.WithMux(cfg.Mux),
+		bayesperf.WithWindow(cfg.Window),
+		bayesperf.WithHop(cfg.Hop),
+		bayesperf.WithWorkers(cfg.Workers),
+		bayesperf.WithInference(cfg.MaxIter, cfg.Tol),
+		bayesperf.WithScheduler(kind),
+		bayesperf.WithDerived(derived),
+	)
 }
 
 // runStreamCatalog streams one catalog end to end under both multiplexing
-// policies and cross-checks against the batch pipeline (run with the same
-// inference budget, cfg.MaxIter/cfg.Tol).
+// policies (the same simulated stream, forked) and cross-checks against the
+// batch pipeline run with the same inference budget.
 func runStreamCatalog(cat *uarch.Catalog, wl measure.Workload, cfg stream.Config,
 	seed uint64, derived bool) (streamReport, error) {
 
-	r := rng.New(seed)
-	tr := measure.GroundTruth(cat, wl, r.Split())
-	s := r.Split()
-	streamSeed := s.Uint64()
+	var rep streamReport
+	srcRR := bayesperf.NewSimSource(cat, wl, cfg.Mux, seed)
+	srcAd := srcRR.Fork()
 
-	start := time.Now()
-	rrRes := stream.RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(streamSeed))
-	dur := time.Since(start)
-
-	ad := measure.NewAdaptive(cat, cfg.Window)
-	adRes := stream.RunTrace(tr, ad, cfg, rng.New(streamSeed))
-
-	band := tr.Intervals() / 4
-	rep := streamReport{
-		Arch:         cat.Arch,
-		Windows:      rrRes.Windows,
-		Intervals:    rrRes.Intervals,
-		Duration:     dur,
-		RRPostStd:    rrRes.PostRelStd.Mean(),
-		AdPostStd:    adRes.PostRelStd.Mean(),
-		AdMoves:      ad.Moves(),
-		RRConverged:  rrRes.AllConverged,
-		AdConverged:  adRes.AllConverged,
-		AllConverged: rrRes.AllConverged && adRes.AllConverged,
-	}
-	var err error
-	if rep.NaiveAligned, err = alignedMean(tr, rrRes.NaiveRaw, band); err != nil {
+	rrSess, err := streamSession(cat, cfg, bayesperf.RoundRobin, derived)
+	if err != nil {
 		return rep, err
 	}
-	if rep.WindowedAligned, err = alignedMean(tr, rrRes.WindowedRaw, band); err != nil {
+	rr, err := rrSess.RunStream(srcRR)
+	if err != nil {
 		return rep, err
 	}
-	if rep.CorrectedAligned, err = alignedMean(tr, rrRes.Corrected, band); err != nil {
+	adSess, err := streamSession(cat, cfg, bayesperf.Adaptive, false)
+	if err != nil {
 		return rep, err
 	}
-	rep.StreamCorrTotals = totalsErr(tr, rrRes.Corrected)
-
-	// Derived-event streaming evaluation (§6.2), on the round-robin run —
-	// only when asked for: it costs one DTW alignment per estimator per
-	// derived event.
-	if derived {
-		if rep.DerivedRows, err = evalDerivedStream(tr, rrRes, band); err != nil {
-			return rep, err
-		}
-		var dn, dw, dc stats.Running
-		for _, row := range rep.DerivedRows {
-			dn.Add(row.NaiveAligned)
-			dw.Add(row.WindowedAligned)
-			dc.Add(row.CorrectedAligned)
-		}
-		rep.DerivedNaiveAligned = dn.Mean()
-		rep.DerivedWindowedAligned = dw.Mean()
-		rep.DerivedCorrectedAligned = dc.Mean()
+	ad, err := adSess.RunStream(srcAd)
+	if err != nil {
+		return rep, err
 	}
 
-	// Batch cross-check: the PR 1 whole-run pipeline on the same trace.
-	batch := runCatalog(cat, wl, cfg.Mux, seed, cfg.MaxIter, cfg.Tol)
+	rep = streamReport{
+		Arch:             cat.Arch,
+		Windows:          rr.Windows,
+		Intervals:        rr.Intervals,
+		Duration:         rr.Duration,
+		NaiveAligned:     rr.NaiveAligned,
+		WindowedAligned:  rr.WindowedAligned,
+		CorrectedAligned: rr.CorrectedAligned,
+		StreamCorrTotals: rr.CorrTotalsErr,
+		RRPostStd:        rr.PostRelStd,
+		AdPostStd:        ad.PostRelStd,
+		AdMoves:          ad.SlotMoves,
+		RRConverged:      rr.Converged,
+		AdConverged:      ad.Converged,
+		AllConverged:     rr.Converged && ad.Converged,
+
+		DerivedRows:             rr.DerivedStream,
+		DerivedNaiveAligned:     rr.DerivedNaiveAligned,
+		DerivedWindowedAligned:  rr.DerivedWindowedAligned,
+		DerivedCorrectedAligned: rr.DerivedCorrectedAligned,
+	}
+
+	// Batch cross-check: the whole-run pipeline on the same trace.
+	batch, err := runCatalog(cat, wl, cfg.Mux, seed, cfg.MaxIter, cfg.Tol)
+	if err != nil {
+		return rep, err
+	}
 	rep.BatchCorrTotals = batch.CorrMeanErr
 	return rep, nil
 }
 
-func printStreamReport(rep streamReport, cfg stream.Config, derived bool) {
+func printStreamReport(rep streamReport, cfg stream.Config, quiet, derived bool) {
 	fmt.Printf("=== %s · streaming ===\n", rep.Arch)
 	// Windows/duration/converged on this line all describe the round-robin
 	// run; the adaptive run's convergence is reported with its comparison
@@ -205,20 +140,24 @@ func printStreamReport(rep streamReport, cfg stream.Config, derived bool) {
 	fmt.Printf("window=%d hop=%d workers=%d gumbel=%v   %d windows in %v (converged=%v)\n",
 		cfg.Window, cfg.Hop, cfg.Workers, cfg.Mux.GumbelReject,
 		rep.Windows, rep.Duration.Round(time.Millisecond), rep.RRConverged)
-	fmt.Printf("aligned per-interval error (DTW, mean over events):\n")
-	fmt.Printf("  raw multiplexed (sample-and-hold):   %7.3f%%\n", 100*rep.NaiveAligned)
-	fmt.Printf("  sliding-window raw (no inference):   %7.3f%%\n", 100*rep.WindowedAligned)
+	if !quiet {
+		fmt.Printf("aligned per-interval error (DTW, mean over events):\n")
+		fmt.Printf("  raw multiplexed (sample-and-hold):   %7.3f%%\n", 100*rep.NaiveAligned)
+		fmt.Printf("  sliding-window raw (no inference):   %7.3f%%\n", 100*rep.WindowedAligned)
+	}
 	verdict := "IMPROVED"
 	if rep.CorrectedAligned >= rep.NaiveAligned {
 		verdict = "NOT IMPROVED"
 	}
 	fmt.Printf("  bayesperf corrected:                 %7.3f%%  [%s]\n", 100*rep.CorrectedAligned, verdict)
 	if derived {
-		fmt.Printf("derived-event aligned error (naive / windowed / corrected, posterior std per interval):\n")
-		for _, row := range rep.DerivedRows {
-			fmt.Printf("  %-20s %7.3f%% / %7.3f%% / %7.3f%%   ± %.4f mean std\n",
-				row.Name, 100*row.NaiveAligned, 100*row.WindowedAligned,
-				100*row.CorrectedAligned, row.MeanPostStd)
+		if !quiet {
+			fmt.Printf("derived-event aligned error (naive / windowed / corrected, posterior std per interval):\n")
+			for _, row := range rep.DerivedRows {
+				fmt.Printf("  %-20s %7.3f%% / %7.3f%% / %7.3f%%   ± %.4f mean std\n",
+					row.Name, 100*row.NaiveAligned, 100*row.WindowedAligned,
+					100*row.CorrectedAligned, row.MeanPostStd)
+			}
 		}
 		dVerdict := "IMPROVED"
 		if rep.DerivedCorrectedAligned >= rep.DerivedWindowedAligned {
@@ -247,21 +186,18 @@ func printStreamReport(rep streamReport, cfg stream.Config, derived bool) {
 // streamMain is the entry point of `bayesperf stream`.
 func streamMain(args []string) {
 	fs := flag.NewFlagSet("bayesperf stream", flag.ExitOnError)
-	seed := fs.Uint64("seed", 42, "RNG seed (whole pipeline is deterministic per seed)")
-	intervals := fs.Int("intervals", 100, "sampling intervals per workload phase")
-	noise := fs.Float64("noise", 0.01, "relative per-interval measurement noise")
+	sf := addSharedFlags(fs, 100)
 	window := fs.Int("window", 0, "intervals per inference window (0 = default)")
 	hop := fs.Int("hop", 0, "stride between windows (0 = default)")
 	workers := fs.Int("workers", 0, "parallel EP engines (0 = all cores)")
-	maxIter := fs.Int("maxiter", 0, "max message-passing sweeps per window (0 = default)")
-	tol := fs.Float64("tol", 0, "convergence tolerance on posterior means (0 = default)")
-	arch := fs.String("arch", "all", "catalog to run: all, skylake, or power9")
 	gumbel := fs.Bool("gumbel", false, "Gumbel outlier rejection before std estimation")
 	outliers := fs.Float64("outliers", 0, "probability of an injected corrupted reading per sample")
-	derived := fs.Bool("derived", false, "report derived-event (IPC, MPKI, …) aligned error with per-interval posterior stds and gate on corrected beating windowed raw")
 	fs.Parse(args)
 
-	cats := selectCatalogs("bayesperf stream", *arch, *intervals)
+	cats, err := resolveCatalogs(sf)
+	if err != nil {
+		fatal("bayesperf stream", 2, err)
+	}
 
 	cfg := stream.DefaultConfig()
 	if *window > 0 {
@@ -271,29 +207,24 @@ func streamMain(args []string) {
 		cfg.Hop = *hop
 	}
 	cfg.Workers = *workers
-	if *maxIter > 0 {
-		cfg.MaxIter = *maxIter
+	maxIter, tol := sf.inference()
+	if maxIter > 0 {
+		cfg.MaxIter = maxIter
 	}
-	if *tol > 0 {
-		cfg.Tol = *tol
+	if tol > 0 {
+		cfg.Tol = tol
 	}
-	cfg.Mux.NoiseFrac = *noise
-	cfg.Mux.GumbelReject = *gumbel
-	if *outliers > 0 {
-		cfg.Mux.OutlierProb = *outliers
-		cfg.Mux.OutlierMag = 8
-	}
+	cfg.Mux = sf.muxConfig(*gumbel, *outliers)
 
 	cfg = cfg.WithDefaults()
-	wl := measure.DefaultWorkload(*intervals)
+	wl := measure.DefaultWorkload(*sf.intervals)
 	ok := true
 	for _, cat := range cats {
-		rep, err := runStreamCatalog(cat, wl, cfg, *seed, *derived)
+		rep, err := runStreamCatalog(cat, wl, cfg, *sf.seed, *sf.derived)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bayesperf stream: %s: %v\n", cat.Arch, err)
-			os.Exit(1)
+			fatal("bayesperf stream", 1, fmt.Errorf("%s: %w", cat.Arch, err))
 		}
-		printStreamReport(rep, cfg, *derived)
+		printStreamReport(rep, cfg, *sf.quiet, *sf.derived)
 		if rep.CorrectedAligned >= rep.NaiveAligned {
 			ok = false
 		}
@@ -303,7 +234,7 @@ func streamMain(args []string) {
 		// corrected-vs-windowed gap itself is dispersion-dominated per
 		// interval, so a strict per-seed inequality would be a coin flip on
 		// unlucky realizations even though it holds at the defaults.
-		if *derived && (rep.DerivedCorrectedAligned >= rep.DerivedNaiveAligned ||
+		if *sf.derived && (rep.DerivedCorrectedAligned >= rep.DerivedNaiveAligned ||
 			rep.DerivedCorrectedAligned >= 1.02*rep.DerivedWindowedAligned) {
 			ok = false
 		}

@@ -254,45 +254,54 @@ func Multiplex(tr *Trace, cfg MuxConfig, r *rng.Rand) *MuxResult {
 			}
 			xs = append(xs, noisy)
 		}
-		counted := len(xs)
-		if counted == 0 {
-			// The run ended before this event's group ever went live
-			// (fewer intervals than groups): no estimate at all.
-			res.Est[id] = Sample{}
-			continue
-		}
-		rejected := 0
-		if cfg.GumbelReject {
-			// xs holds only finite readings (corrupted ones were dropped
-			// at collection), so the filter always keeps at least one.
-			xs, rejected = stats.GumbelFilterMax(xs, cfg.RejectQuantile())
-		}
-		n := len(xs)
-		meanRate := stats.Mean(xs)
-		total := meanRate * float64(intervals)
-
-		var std float64
-		if n == intervals {
-			// Full coverage (fixed counters): the total is a straight sum
-			// with no extrapolation, so its only uncertainty is the
-			// per-interval measurement noise. The realized workload
-			// variation is signal here, not error.
-			var nv float64
-			for _, x := range xs {
-				nv += (cfg.NoiseFrac * x) * (cfg.NoiseFrac * x)
-			}
-			std = math.Sqrt(nv)
-		} else {
-			std = extrapolationStd(xs, intervals)
-		}
-
-		if floor := cfg.StdFloorFrac * math.Abs(total); std < floor {
-			std = floor
-		}
-		if std == 0 {
-			std = 1 // all-zero event: unit count uncertainty
-		}
-		res.Est[id] = Sample{Total: total, Std: std, N: counted, Rejected: rejected}
+		res.Est[id] = EstimateSample(xs, intervals, cfg)
 	}
 	return res
+}
+
+// EstimateSample turns one event's counted per-interval readings into the
+// §4.2 whole-run estimate: Gumbel outlier rejection when configured,
+// inverse-coverage extrapolated total, and the Student-t observation std
+// (measurement-noise-only at full coverage). It is the single estimator
+// shared by the batch simulator (Multiplex) and any Source-draining batch
+// consumer (pkg/bayesperf.Session.RunBatch). xs must hold only finite
+// readings; an empty xs yields the zero Sample (never counted — callers
+// must not observe it into the factor graph).
+func EstimateSample(xs []float64, intervals int, cfg MuxConfig) Sample {
+	counted := len(xs)
+	if counted == 0 {
+		return Sample{}
+	}
+	rejected := 0
+	if cfg.GumbelReject {
+		// xs holds only finite readings (corrupted ones were dropped at
+		// collection), so the filter always keeps at least one.
+		xs, rejected = stats.GumbelFilterMax(xs, cfg.RejectQuantile())
+	}
+	n := len(xs)
+	meanRate := stats.Mean(xs)
+	total := meanRate * float64(intervals)
+
+	var std float64
+	if n == intervals {
+		// Full coverage (fixed counters): the total is a straight sum
+		// with no extrapolation, so its only uncertainty is the
+		// per-interval measurement noise. The realized workload
+		// variation is signal here, not error.
+		var nv float64
+		for _, x := range xs {
+			nv += (cfg.NoiseFrac * x) * (cfg.NoiseFrac * x)
+		}
+		std = math.Sqrt(nv)
+	} else {
+		std = extrapolationStd(xs, intervals)
+	}
+
+	if floor := cfg.StdFloorFrac * math.Abs(total); std < floor {
+		std = floor
+	}
+	if std == 0 {
+		std = 1 // all-zero event: unit count uncertainty
+	}
+	return Sample{Total: total, Std: std, N: counted, Rejected: rejected}
 }

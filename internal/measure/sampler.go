@@ -310,6 +310,17 @@ func NewSampler(tr *Trace, cfg MuxConfig, sched Scheduler, r *rng.Rand) *Sampler
 // Intervals returns the total stream length.
 func (s *Sampler) Intervals() int { return s.tr.Intervals() }
 
+// Catalog returns the catalog the sampler's trace is bound to. Together
+// with Next, it makes a *Sampler directly usable as a pkg/bayesperf.Source.
+func (s *Sampler) Catalog() *uarch.Catalog { return s.tr.Cat }
+
+// Scheduler returns the multiplexing scheduler driving the sampler.
+func (s *Sampler) Scheduler() Scheduler { return s.sched }
+
+// Truth returns the ground-truth trace behind the simulated stream, for
+// truth-based evaluation of the corrected output.
+func (s *Sampler) Truth() *Trace { return s.tr }
+
 // Next emits the next interval's sample, or ok=false at end of trace.
 func (s *Sampler) Next() (sample IntervalSample, ok bool) {
 	if s.t >= s.tr.Intervals() {

@@ -159,74 +159,100 @@ func drawPrimitives(p Phase, r *rng.Rand) primitives {
 	return pr
 }
 
-// eventValue maps one catalog event name onto the interval's primitives.
-// Event names are globally unique across the built-in catalogs, so a single
-// mapping serves both; unknown names panic, which the tests turn into a
-// catalog/generator drift check.
-func eventValue(name string, p primitives) float64 {
+// primOrder is the canonical evaluation order of the machine primitives.
+// Model sums accumulate in this order — never in map order — so a
+// multi-primitive event's value is deterministic and a spec-loaded catalog
+// reproduces the builder catalog's ground truth bit for bit.
+var primOrder = []string{
+	"inst", "cycles", "ref_cycles", "pend_cycles",
+	"loads", "stores", "branches", "misp", "other",
+	"l1_hit", "l1_miss", "l2_hit", "l3_hit", "l3_miss",
+}
+
+// primValue maps one primitive name onto the interval's draw.
+func primValue(name string, p primitives) (float64, bool) {
 	switch name {
-	// Skylake.
-	case "INST_RETIRED.ANY":
-		return p.inst
-	case "CPU_CLK_UNHALTED.THREAD":
-		return p.cycles
-	case "CPU_CLK_UNHALTED.REF_TSC":
-		return p.refCycles
-	case "MEM_INST_RETIRED.ALL_LOADS":
-		return p.loads
-	case "MEM_INST_RETIRED.ALL_STORES":
-		return p.stores
-	case "BR_INST_RETIRED.ALL_BRANCHES":
-		return p.branches
-	case "BR_MISP_RETIRED.ALL_BRANCHES":
-		return p.misp
-	case "BR_PRED_RETIRED.ALL_BRANCHES":
-		return p.branches - p.misp
-	case "INST_RETIRED.OTHER":
-		return p.other
-	case "MEM_LOAD_RETIRED.L1_HIT":
-		return p.l1Hit
-	case "MEM_LOAD_RETIRED.L1_MISS":
-		return p.l1Miss
-	case "MEM_LOAD_RETIRED.L2_HIT":
-		return p.l2Hit
-	case "MEM_LOAD_RETIRED.L3_HIT":
-		return p.l3Hit
-	case "MEM_LOAD_RETIRED.L3_MISS":
-		return p.l3Miss
-	case "L1D_PEND_MISS.PENDING":
-		return p.pendCycles
-	case "OFFCORE_RESPONSE.DEMAND_DATA_RD":
-		return p.l3Hit + p.l3Miss
-	case "OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS":
-		return p.l3Miss
-	// Power9.
-	case "PM_INST_CMPL":
-		return p.inst
-	case "PM_RUN_CYC":
-		return p.cycles
-	case "PM_LD_CMPL":
-		return p.loads
-	case "PM_ST_CMPL":
-		return p.stores
-	case "PM_BR_CMPL":
-		return p.branches
-	case "PM_BR_MPRED_CMPL":
-		return p.misp
-	case "PM_INST_OTHER_CMPL":
-		return p.other
-	case "PM_LD_HIT_L1":
-		return p.l1Hit
-	case "PM_LD_MISS_L1":
-		return p.l1Miss
-	case "PM_DATA_FROM_L2":
-		return p.l2Hit
-	case "PM_DATA_FROM_L3":
-		return p.l3Hit
-	case "PM_DATA_FROM_MEM":
-		return p.l3Miss
+	case "inst":
+		return p.inst, true
+	case "cycles":
+		return p.cycles, true
+	case "ref_cycles":
+		return p.refCycles, true
+	case "pend_cycles":
+		return p.pendCycles, true
+	case "loads":
+		return p.loads, true
+	case "stores":
+		return p.stores, true
+	case "branches":
+		return p.branches, true
+	case "misp":
+		return p.misp, true
+	case "other":
+		return p.other, true
+	case "l1_hit":
+		return p.l1Hit, true
+	case "l1_miss":
+		return p.l1Miss, true
+	case "l2_hit":
+		return p.l2Hit, true
+	case "l3_hit":
+		return p.l3Hit, true
+	case "l3_miss":
+		return p.l3Miss, true
 	}
-	panic(fmt.Sprintf("measure: no ground-truth model for event %q", name))
+	return 0, false
+}
+
+// eventValue evaluates one catalog event's declared primitive model
+// (Event.Model, Σ coeff·primitive) on the interval's draw. Events without a
+// model — or with a key outside the primitive set, which the canonical-order
+// walk would otherwise silently skip — panic, which the tests turn into a
+// catalog/generator drift check; ValidateModels offers the polite,
+// error-returning form of the same check for catalogs loaded from
+// user-supplied JSON.
+func eventValue(ev uarch.Event, p primitives) float64 {
+	if len(ev.Model) == 0 {
+		panic(fmt.Sprintf("measure: no ground-truth model for event %q", ev.Name))
+	}
+	var s float64
+	matched := 0
+	for _, name := range primOrder {
+		coeff, ok := ev.Model[name]
+		if !ok {
+			continue
+		}
+		matched++
+		v, _ := primValue(name, p)
+		s += coeff * v
+	}
+	if matched != len(ev.Model) {
+		for name := range ev.Model {
+			if _, ok := primValue(name, p); !ok {
+				panic(fmt.Sprintf("measure: event %q model references unknown primitive %q (known: %v)",
+					ev.Name, name, primOrder))
+			}
+		}
+	}
+	return s
+}
+
+// ValidateModels checks that every event in the catalog declares a
+// ground-truth model over known primitives, so GroundTruth cannot panic on
+// it. Call it after loading a catalog spec from untrusted input.
+func ValidateModels(cat *uarch.Catalog) error {
+	for _, ev := range cat.Events {
+		if len(ev.Model) == 0 {
+			return fmt.Errorf("measure: %s: event %s declares no ground-truth model", cat.Arch, ev.Name)
+		}
+		for name := range ev.Model {
+			if _, ok := primValue(name, primitives{}); !ok {
+				return fmt.Errorf("measure: %s: event %s references unknown primitive %q (known: %v)",
+					cat.Arch, ev.Name, name, primOrder)
+			}
+		}
+	}
+	return nil
 }
 
 // Trace is the ground-truth event trace of one workload run on one catalog:
@@ -249,7 +275,7 @@ func GroundTruth(cat *uarch.Catalog, wl Workload, r *rng.Rand) *Trace {
 		for t := 0; t < ph.Intervals; t++ {
 			p := drawPrimitives(ph, r)
 			for id := range tr.Series {
-				tr.Series[id] = append(tr.Series[id], eventValue(cat.Event(uarch.EventID(id)).Name, p))
+				tr.Series[id] = append(tr.Series[id], eventValue(cat.Event(uarch.EventID(id)), p))
 			}
 		}
 	}

@@ -607,20 +607,26 @@ func (e *Engine) stitchDerived(res *Result) {
 	}
 }
 
-// RunTrace streams a ground-truth trace through sampler → engine end to
-// end. When sched is a *measure.AdaptiveScheduler the posterior feedback
-// loop closes: each epoch the engine is flushed and the latest window's
-// posterior re-prioritizes the multiplexing slots. Results are
-// deterministic for a given (trace, scheduler, config, seed) regardless of
-// the worker count.
-func RunTrace(tr *measure.Trace, sched measure.Scheduler, cfg Config, r *rng.Rand) *Result {
-	cfg.SizeHint = tr.Intervals()
-	e := NewEngine(tr.Cat, cfg)
-	smp := measure.NewSampler(tr, e.cfg.Mux, sched, r)
+// IntervalSource feeds the streaming engine: anything that emits a sequence
+// of multiplexed interval samples. measure.Sampler implements it; so does
+// any pkg/bayesperf.Source, which is how a future perf-event reader plugs
+// into this engine without changes here.
+type IntervalSource interface {
+	Next() (measure.IntervalSample, bool)
+}
+
+// Run streams a source through the engine end to end. When sched is a
+// *measure.AdaptiveScheduler the posterior feedback loop closes: each epoch
+// the engine is flushed and the epoch-averaged posterior re-prioritizes the
+// multiplexing slots (pass the scheduler actually driving the source, or
+// nil for scheduler-less sources). Results are deterministic for a given
+// (source, scheduler, config) regardless of the worker count.
+func Run(cat *uarch.Catalog, src IntervalSource, sched measure.Scheduler, cfg Config) *Result {
+	e := NewEngine(cat, cfg)
 	ad, adaptive := sched.(*measure.AdaptiveScheduler)
 	t := 0
 	for {
-		s, ok := smp.Next()
+		s, ok := src.Next()
 		if !ok {
 			break
 		}
@@ -638,4 +644,12 @@ func RunTrace(tr *measure.Trace, sched measure.Scheduler, cfg Config, r *rng.Ran
 		res.Reprioritizations = ad.Reprioritizations()
 	}
 	return res
+}
+
+// RunTrace streams a ground-truth trace through sampler → engine end to
+// end; see Run for the feedback-loop semantics.
+func RunTrace(tr *measure.Trace, sched measure.Scheduler, cfg Config, r *rng.Rand) *Result {
+	cfg.SizeHint = tr.Intervals()
+	cfg = cfg.WithDefaults()
+	return Run(tr.Cat, measure.NewSampler(tr, cfg.Mux, sched, r), sched, cfg)
 }

@@ -66,34 +66,49 @@ func Skylake() *Catalog {
 
 	// Derived events (§2 "Errors in Derived Events", §6.2). The ratios
 	// declare analytic gradients so posterior uncertainty propagates
-	// through the delta method exactly; Backend_Bound deliberately leaves
-	// Grad nil and exercises the central-difference fallback in production.
+	// through the delta method exactly; Backend_Bound deliberately stays a
+	// KindLinearRatio without Grad and exercises the central-difference
+	// fallback in production. Idealized latency weights: L2 12c, L3 44c,
+	// DRAM 200c, over 4-wide issue slots.
 	cyc := c.MustEvent("CPU_CLK_UNHALTED.THREAD")
-	c.derivedGrad("IPC", "instructions per core cycle",
-		[]EventID{inst, cyc},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
-		ratioGrad(1))
-	c.derivedGrad("L3_MPKI", "L3 misses per kilo-instruction",
-		[]EventID{l3Miss, inst},
-		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) },
-		ratioGrad(1000))
-	c.derivedGrad("Branch_Misp_Rate", "mispredictions per retired branch",
-		[]EventID{misp, branches},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
-		ratioGrad(1))
-	c.derived("Backend_Bound", "fraction of cycle-slots stalled behind memory (top-down proxy: weighted L2/L3/DRAM load latency over total slots)",
+	c.derivedRatio("IPC", "instructions per core cycle", inst, cyc, 1)
+	c.derivedRatio("L3_MPKI", "L3 misses per kilo-instruction", l3Miss, inst, 1000)
+	c.derivedRatio("Branch_Misp_Rate", "mispredictions per retired branch", misp, branches, 1)
+	c.derivedLinear("Backend_Bound", "fraction of cycle-slots stalled behind memory (top-down proxy: weighted L2/L3/DRAM load latency over total slots)",
 		[]EventID{l2Hit, l3Hit, l3Miss, cyc},
-		func(in []float64) float64 {
-			// Idealized latency weights: L2 12c, L3 44c, DRAM 200c,
-			// over 4-wide issue slots.
-			return safeDiv(12*in[0]+44*in[1]+200*in[2], 4*in[3])
-		})
+		[]float64{12, 44, 200, 0},
+		[]float64{0, 0, 0, 4})
+
+	// Ground-truth semantics: each event as a linear combination of the
+	// simulator's machine primitives (internal/measure).
+	c.setModels(map[string]map[string]float64{
+		"INST_RETIRED.ANY":                        prim("inst"),
+		"CPU_CLK_UNHALTED.THREAD":                 prim("cycles"),
+		"CPU_CLK_UNHALTED.REF_TSC":                prim("ref_cycles"),
+		"MEM_INST_RETIRED.ALL_LOADS":              prim("loads"),
+		"MEM_INST_RETIRED.ALL_STORES":             prim("stores"),
+		"BR_INST_RETIRED.ALL_BRANCHES":            prim("branches"),
+		"BR_MISP_RETIRED.ALL_BRANCHES":            prim("misp"),
+		"BR_PRED_RETIRED.ALL_BRANCHES":            {"branches": 1, "misp": -1},
+		"INST_RETIRED.OTHER":                      prim("other"),
+		"MEM_LOAD_RETIRED.L1_HIT":                 prim("l1_hit"),
+		"MEM_LOAD_RETIRED.L1_MISS":                prim("l1_miss"),
+		"MEM_LOAD_RETIRED.L2_HIT":                 prim("l2_hit"),
+		"MEM_LOAD_RETIRED.L3_HIT":                 prim("l3_hit"),
+		"MEM_LOAD_RETIRED.L3_MISS":                prim("l3_miss"),
+		"L1D_PEND_MISS.PENDING":                   prim("pend_cycles"),
+		"OFFCORE_RESPONSE.DEMAND_DATA_RD":         {"l3_hit": 1, "l3_miss": 1},
+		"OFFCORE_RESPONSE.DEMAND_DATA_RD.L3_MISS": prim("l3_miss"),
+	})
 
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
 	return c
 }
+
+// prim is the single-primitive model {name: 1}.
+func prim(name string) map[string]float64 { return map[string]float64{name: 1} }
 
 // Power9 returns the catalog for an IBM Power9-like ppc64 core: 2 effectively
 // fixed counters (PMC5 counts completed instructions, PMC6 run cycles) and
@@ -125,18 +140,24 @@ func Power9() *Catalog {
 		"PM_LD_MISS_L1 = FROM_L2 + FROM_L3 + FROM_MEM",
 		Term{l1Miss, 1}, Term{fromL2, -1}, Term{fromL3, -1}, Term{fromMem, -1})
 
-	c.derivedGrad("IPC", "instructions per run cycle",
-		[]EventID{inst, cyc},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
-		ratioGrad(1))
-	c.derivedGrad("DL1_MPKI", "L1D misses per kilo-instruction",
-		[]EventID{l1Miss, inst},
-		func(in []float64) float64 { return safeDiv(1000*in[0], in[1]) },
-		ratioGrad(1000))
-	c.derivedGrad("Branch_Misp_Rate", "mispredictions per completed branch",
-		[]EventID{misp, branches},
-		func(in []float64) float64 { return safeDiv(in[0], in[1]) },
-		ratioGrad(1))
+	c.derivedRatio("IPC", "instructions per run cycle", inst, cyc, 1)
+	c.derivedRatio("DL1_MPKI", "L1D misses per kilo-instruction", l1Miss, inst, 1000)
+	c.derivedRatio("Branch_Misp_Rate", "mispredictions per completed branch", misp, branches, 1)
+
+	c.setModels(map[string]map[string]float64{
+		"PM_INST_CMPL":       prim("inst"),
+		"PM_RUN_CYC":         prim("cycles"),
+		"PM_LD_CMPL":         prim("loads"),
+		"PM_ST_CMPL":         prim("stores"),
+		"PM_BR_CMPL":         prim("branches"),
+		"PM_BR_MPRED_CMPL":   prim("misp"),
+		"PM_INST_OTHER_CMPL": prim("other"),
+		"PM_LD_HIT_L1":       prim("l1_hit"),
+		"PM_LD_MISS_L1":      prim("l1_miss"),
+		"PM_DATA_FROM_L2":    prim("l2_hit"),
+		"PM_DATA_FROM_L3":    prim("l3_hit"),
+		"PM_DATA_FROM_MEM":   prim("l3_miss"),
+	})
 
 	if err := c.Validate(); err != nil {
 		panic(err)
@@ -149,4 +170,28 @@ func Power9() *Catalog {
 // up automatically.
 func Catalogs() []*Catalog {
 	return []*Catalog{Skylake(), Power9()}
+}
+
+// init seeds the catalog registry with the built-in architectures,
+// re-expressed as data: the registry serves Specs, and spec-built catalogs
+// are bit-identical to the builders (asserted in spec_test.go).
+func init() {
+	for _, c := range Catalogs() {
+		spec, err := c.Spec()
+		if err != nil {
+			panic(err)
+		}
+		MustRegister(shortArch(c.Arch), spec)
+	}
+}
+
+// shortArch maps a catalog's full Arch string to its registry name: the
+// vendor suffix ("x86_64-skylake" → "skylake").
+func shortArch(arch string) string {
+	for i := len(arch) - 1; i >= 0; i-- {
+		if arch[i] == '-' {
+			return arch[i+1:]
+		}
+	}
+	return arch
 }

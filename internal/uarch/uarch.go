@@ -40,7 +40,14 @@ type Event struct {
 	// PMU's auxiliary MSRs in addition to a counter ("an Intel off-core
 	// response event requires one HPC and one MSR register", §4).
 	NeedsMSR bool
-	Desc     string
+	// Model grounds the event in the shared machine primitives of the
+	// simulated core (internal/measure): the event's value is the linear
+	// combination Σ Model[p]·primitive(p). Catalogs declared as data (JSON
+	// specs) carry their ground-truth semantics here instead of in compiled
+	// Go, which is what lets a catalog defined purely in JSON run end to
+	// end through the simulator.
+	Model map[string]float64
+	Desc  string
 }
 
 // Term is one addend of a linear invariant: Coeff · value(Event).
@@ -79,6 +86,19 @@ func (r Relation) Magnitude(vals []float64) float64 {
 	return s / 2
 }
 
+// Expression kinds a Derived formula can be declared as when the catalog is
+// expressed as data (see Spec). Every built-in formula is one of these, so
+// catalogs round-trip through JSON without losing their derived events.
+const (
+	// KindRatio is Scale·in[0]/in[1] with safeDiv's zero-denominator guard
+	// and the analytic ratioGrad gradient.
+	KindRatio = "ratio"
+	// KindLinearRatio is ΣNum[i]·in[i] / ΣDen[i]·in[i] (safeDiv-guarded),
+	// with no analytic gradient: uncertainty propagation exercises the
+	// central-difference fallback, exactly as the builder catalogs do.
+	KindLinearRatio = "linear_ratio"
+)
+
 // Derived is a derived event (§2 "Errors in Derived Events"): a mathematical
 // combination of individual HPC values, e.g. IPC or Backend_Bound.
 type Derived struct {
@@ -91,7 +111,55 @@ type Derived struct {
 	// Formulas without an analytic gradient fall back to a central finite
 	// difference in Gradient.
 	Grad func(in []float64) []float64
-	Desc string
+	// Kind, Scale, Num and Den are the data form of the formula (KindRatio
+	// or KindLinearRatio): the serialization metadata from which Eval/Grad
+	// were built. Empty Kind marks a hand-written closure that cannot be
+	// expressed as a Spec.
+	Kind     string
+	Scale    float64
+	Num, Den []float64
+	Desc     string
+}
+
+// newRatioDerived builds the KindRatio formula scale·num/den with its
+// analytic gradient. Both the catalog builders and the Spec loader construct
+// ratios through here, so a spec-loaded catalog's formulas are bit-identical
+// to the builder's.
+func newRatioDerived(name, desc string, num, den EventID, scale float64) Derived {
+	return Derived{
+		Name:   name,
+		Inputs: []EventID{num, den},
+		Eval:   func(in []float64) float64 { return safeDiv(scale*in[0], in[1]) },
+		Grad:   ratioGrad(scale),
+		Kind:   KindRatio,
+		Scale:  scale,
+		Desc:   desc,
+	}
+}
+
+// newLinearRatioDerived builds the KindLinearRatio formula
+// Σ num[i]·in[i] / Σ den[i]·in[i]. Grad stays nil on purpose: the builder
+// catalogs leave their weighted-sum ratios on the central-difference
+// fallback, and the spec loader must reproduce that bit for bit.
+func newLinearRatioDerived(name, desc string, inputs []EventID, num, den []float64) Derived {
+	num = append([]float64(nil), num...)
+	den = append([]float64(nil), den...)
+	return Derived{
+		Name:   name,
+		Inputs: append([]EventID(nil), inputs...),
+		Eval: func(in []float64) float64 {
+			var n, d float64
+			for i := range in {
+				n += num[i] * in[i]
+				d += den[i] * in[i]
+			}
+			return safeDiv(n, d)
+		},
+		Kind: KindLinearRatio,
+		Num:  num,
+		Den:  den,
+		Desc: desc,
+	}
 }
 
 // Gradient returns ∂Eval/∂inᵢ at in (Inputs order): the declared analytic
@@ -197,10 +265,25 @@ func (c *Catalog) derived(name, desc string, inputs []EventID, eval func([]float
 	c.Derived = append(c.Derived, Derived{Name: name, Inputs: inputs, Eval: eval, Desc: desc})
 }
 
-// derivedGrad registers a derived event together with its analytic gradient.
-func (c *Catalog) derivedGrad(name, desc string, inputs []EventID,
-	eval func([]float64) float64, grad func([]float64) []float64) {
-	c.Derived = append(c.Derived, Derived{Name: name, Inputs: inputs, Eval: eval, Grad: grad, Desc: desc})
+// derivedRatio registers a scale·num/den ratio formula (KindRatio) with its
+// analytic gradient.
+func (c *Catalog) derivedRatio(name, desc string, num, den EventID, scale float64) {
+	c.Derived = append(c.Derived, newRatioDerived(name, desc, num, den, scale))
+}
+
+// derivedLinear registers a weighted-sum-over-weighted-sum formula
+// (KindLinearRatio); gradient comes from the central-difference fallback.
+func (c *Catalog) derivedLinear(name, desc string, inputs []EventID, num, den []float64) {
+	c.Derived = append(c.Derived, newLinearRatioDerived(name, desc, inputs, num, den))
+}
+
+// setModels assigns each named event's ground-truth model (see Event.Model).
+// Unknown names panic: the builder catalogs call this at construction time
+// only, so a typo fails loudly in every test.
+func (c *Catalog) setModels(models map[string]map[string]float64) {
+	for name, m := range models {
+		c.Events[c.MustEvent(name)].Model = m
+	}
 }
 
 // Lookup returns the EventID for name, or InvalidEvent if unknown.
@@ -334,6 +417,23 @@ func (c *Catalog) Validate() error {
 			if in < 0 || int(in) >= len(c.Events) {
 				return fmt.Errorf("uarch: %s: derived %s references unknown event %d", c.Arch, d.Name, in)
 			}
+		}
+		switch d.Kind {
+		case "": // hand-written closure: nothing more to check
+		case KindRatio:
+			if len(d.Inputs) != 2 {
+				return fmt.Errorf("uarch: %s: ratio derived %s needs 2 inputs, has %d", c.Arch, d.Name, len(d.Inputs))
+			}
+			if d.Scale == 0 {
+				return fmt.Errorf("uarch: %s: ratio derived %s has zero scale", c.Arch, d.Name)
+			}
+		case KindLinearRatio:
+			if len(d.Num) != len(d.Inputs) || len(d.Den) != len(d.Inputs) {
+				return fmt.Errorf("uarch: %s: linear_ratio derived %s coefficient lengths %d/%d do not match %d inputs",
+					c.Arch, d.Name, len(d.Num), len(d.Den), len(d.Inputs))
+			}
+		default:
+			return fmt.Errorf("uarch: %s: derived %s has unknown kind %q", c.Arch, d.Name, d.Kind)
 		}
 	}
 	return nil

@@ -1,0 +1,323 @@
+package bayesperf_test
+
+import (
+	"strings"
+	"testing"
+
+	"bayesperf/internal/measure"
+	"bayesperf/internal/rng"
+	"bayesperf/internal/uarch"
+	"bayesperf/pkg/bayesperf"
+)
+
+const zenSpecPath = "../../examples/catalogs/zen.json"
+
+// TestBuilderAndSpecSessionsBitIdentical is the acceptance criterion at the
+// Session level: the builder-based Skylake catalog and the registry's
+// spec-loaded one produce bit-identical batch posteriors and bit-identical
+// streamed corrected series for the same seed.
+func TestBuilderAndSpecSessionsBitIdentical(t *testing.T) {
+	builder := uarch.Skylake()
+	spec, ok := bayesperf.LookupCatalog("skylake")
+	if !ok {
+		t.Fatal("skylake not in the registry")
+	}
+	fromSpec := spec.MustCatalog()
+	wl := bayesperf.DefaultWorkload(50)
+	mux := bayesperf.DefaultMuxConfig()
+
+	runBoth := func(run func(cat *bayesperf.Catalog) *bayesperf.Report) (*bayesperf.Report, *bayesperf.Report) {
+		return run(builder), run(fromSpec)
+	}
+
+	a, b := runBoth(func(cat *bayesperf.Catalog) *bayesperf.Report {
+		sess, err := bayesperf.New(bayesperf.WithCatalog(cat), bayesperf.WithMux(mux))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	})
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i].Mean != b.Events[i].Mean || a.Events[i].Std != b.Events[i].Std {
+			t.Errorf("batch posterior differs for %s: %v±%v vs %v±%v", a.Events[i].Name,
+				a.Events[i].Mean, a.Events[i].Std, b.Events[i].Mean, b.Events[i].Std)
+		}
+	}
+	for i := range a.Derived {
+		if a.Derived[i].Mean != b.Derived[i].Mean || a.Derived[i].Std != b.Derived[i].Std {
+			t.Errorf("derived posterior differs for %s", a.Derived[i].Name)
+		}
+	}
+
+	sa, sb := runBoth(func(cat *bayesperf.Catalog) *bayesperf.Report {
+		sess, err := bayesperf.New(bayesperf.WithCatalog(cat), bayesperf.WithMux(mux),
+			bayesperf.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	})
+	for id := range sa.Stream.Corrected {
+		for ti := range sa.Stream.Corrected[id] {
+			if sa.Stream.Corrected[id][ti] != sb.Stream.Corrected[id][ti] {
+				t.Fatalf("stream corrected series differs at event %d interval %d", id, ti)
+			}
+		}
+	}
+}
+
+// TestZenJSONEndToEnd: the catalog defined purely in JSON — no Go changes —
+// runs end to end through Session.RunStream with the corrected-beats-naive
+// verdict holding, and through RunBatch with positive derived stds.
+func TestZenJSONEndToEnd(t *testing.T) {
+	spec, err := bayesperf.LoadSpecFile(zenSpecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bayesperf.New(
+		bayesperf.WithSpec(spec),
+		bayesperf.WithDerived(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sess.Catalog()
+	if err := measure.ValidateModels(cat); err != nil {
+		t.Fatal(err)
+	}
+	wl := bayesperf.DefaultWorkload(100)
+	mux := bayesperf.DefaultMuxConfig()
+
+	rep, err := sess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasTruth || !rep.Converged {
+		t.Fatalf("zen stream run: truth=%v converged=%v", rep.HasTruth, rep.Converged)
+	}
+	if !rep.Improved() {
+		t.Errorf("zen corrected aligned error %.4f%% not below naive %.4f%%",
+			100*rep.CorrectedAligned, 100*rep.NaiveAligned)
+	}
+	if len(rep.DerivedStream) != len(cat.Derived) {
+		t.Fatalf("%d derived stream rows, want %d", len(rep.DerivedStream), len(cat.Derived))
+	}
+	for _, row := range rep.DerivedStream {
+		if row.MinPostStd <= 0 {
+			t.Errorf("%s: min per-interval posterior std %v, want > 0", row.Name, row.MinPostStd)
+		}
+	}
+
+	batch, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Improved() {
+		t.Errorf("zen batch corrected err %.4f%% not below raw %.4f%%",
+			100*batch.CorrMeanErr, 100*batch.RawMeanErr)
+	}
+	for _, d := range batch.Derived {
+		if d.Std <= 0 {
+			t.Errorf("%s: batch posterior std %v, want > 0", d.Name, d.Std)
+		}
+	}
+}
+
+// TestSamplerIsASource: a bare measure.Sampler is the second shipped Source
+// implementation; streaming it through a Session produces exactly the
+// SimSource run (same trace, same seed, same scheduler).
+func TestSamplerIsASource(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(40)
+	mux := bayesperf.DefaultMuxConfig()
+
+	sim := bayesperf.NewSimSource(cat, wl, mux, 7)
+	sess, err := bayesperf.New(bayesperf.WithCatalog(cat), bayesperf.WithMux(mux))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRep, err := sess.RunStream(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the identical stream as a raw Sampler (same seed discipline
+	// as NewSimSource).
+	r := rng.New(7)
+	tr := measure.GroundTruth(cat, wl, r.Split())
+	smp := measure.NewSampler(tr, mux, measure.NewRoundRobin(cat), rng.New(r.Split().Uint64()))
+
+	sess2, err := bayesperf.New(bayesperf.WithCatalog(cat), bayesperf.WithMux(mux))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smpRep, err := sess2.RunStream(smp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smpRep.HasTruth {
+		t.Error("sampler source did not expose ground truth")
+	}
+	if smpRep.CorrectedAligned != simRep.CorrectedAligned || smpRep.Windows != simRep.Windows {
+		t.Errorf("sampler-source run differs from sim-source run: %v/%d vs %v/%d",
+			smpRep.CorrectedAligned, smpRep.Windows, simRep.CorrectedAligned, simRep.Windows)
+	}
+}
+
+// TestSessionAdoptsSourceCatalog: a catalog-less session binds to the
+// source's catalog; a bound session rejects mismatched sources.
+func TestSessionAdoptsSourceCatalog(t *testing.T) {
+	wl := bayesperf.DefaultWorkload(20)
+	mux := bayesperf.DefaultMuxConfig()
+
+	sess, err := bayesperf.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bayesperf.NewSimSource(uarch.Power9(), wl, mux, 3)
+	rep, err := sess.RunBatch(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arch != "ppc64-power9" || sess.Catalog() == nil {
+		t.Errorf("session did not adopt the source catalog (arch %q)", rep.Arch)
+	}
+
+	other := bayesperf.NewSimSource(uarch.Skylake(), wl, mux, 3)
+	if _, err := sess.RunBatch(other); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("mismatched source accepted: %v", err)
+	}
+}
+
+// TestSessionSchedulerOption: WithScheduler(Adaptive) closes the feedback
+// loop (slot moves happen) and reports the adaptive telemetry.
+func TestSessionSchedulerOption(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(100)
+	mux := bayesperf.DefaultMuxConfig()
+
+	sess, err := bayesperf.New(
+		bayesperf.WithCatalog(cat),
+		bayesperf.WithMux(mux),
+		bayesperf.WithScheduler(bayesperf.Adaptive),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SlotMoves == 0 {
+		t.Error("adaptive session made no slot moves")
+	}
+	if rep.Stream.Reprioritizations == 0 {
+		t.Error("adaptive session never reprioritized")
+	}
+}
+
+// TestSessionOptionErrors: invalid options fail at New, not at run time.
+func TestSessionOptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  bayesperf.Option
+	}{
+		{"nil catalog", bayesperf.WithCatalog(nil)},
+		{"negative noise", bayesperf.WithNoise(-0.5)},
+		{"unknown scheduler", bayesperf.WithScheduler(bayesperf.SchedulerKind(99))},
+		{"missing catalog file", bayesperf.WithCatalogFile("/no/such/file.json")},
+	}
+	for _, tc := range cases {
+		if _, err := bayesperf.New(tc.opt); err == nil {
+			t.Errorf("%s: New accepted the option", tc.name)
+		}
+	}
+}
+
+// TestSessionRejectsMismatchedMux: a simulated source sampling under a
+// different observation model than the session's is an error, not a silent
+// mis-weighting of every estimate.
+func TestSessionRejectsMismatchedMux(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(20)
+	sess, err := bayesperf.New(bayesperf.WithCatalog(cat), bayesperf.WithNoise(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bayesperf.NewSimSource(cat, wl, bayesperf.DefaultMuxConfig(), 3) // 1% noise
+	if _, err := sess.RunBatch(src); err == nil || !strings.Contains(err.Error(), "observation model") {
+		t.Errorf("diverging mux accepted: %v", err)
+	}
+}
+
+// TestStreamDerivedUsesSessionCatalog: a session bound to a spec with a
+// trimmed derived section must evaluate (and size) the derived stream rows
+// from its own catalog, not the source's richer one.
+func TestStreamDerivedUsesSessionCatalog(t *testing.T) {
+	spec, ok := bayesperf.LookupCatalog("skylake")
+	if !ok {
+		t.Fatal("skylake not registered")
+	}
+	spec.Derived = spec.Derived[:1] // session knows only IPC
+	sess, err := bayesperf.New(bayesperf.WithSpec(spec), bayesperf.WithDerived(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source carries the full builder catalog (4 derived events); event
+	// lists are identical so bindCatalog accepts it.
+	mux := bayesperf.DefaultMuxConfig()
+	src := bayesperf.NewSimSource(uarch.Skylake(), bayesperf.DefaultWorkload(30), mux, 5)
+	rep, err := sess.RunStream(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DerivedStream) != 1 || rep.DerivedStream[0].Name != "IPC" {
+		t.Fatalf("derived rows %+v, want exactly the session catalog's IPC", rep.DerivedStream)
+	}
+}
+
+// TestValidateModelsExported: the polite model pre-check is reachable from
+// the public API (external embedders cannot import internal/measure).
+func TestValidateModelsExported(t *testing.T) {
+	if err := bayesperf.ValidateModels(uarch.Skylake()); err != nil {
+		t.Errorf("builder catalog failed model validation: %v", err)
+	}
+	spec, _ := bayesperf.LookupCatalog("skylake")
+	spec.Events[0].Model = nil
+	cat, err := spec.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bayesperf.ValidateModels(cat); err == nil {
+		t.Error("model-less catalog passed validation")
+	}
+}
+
+// TestSessionEmptySource: zero intervals is an error, not a zero report.
+func TestSessionEmptySource(t *testing.T) {
+	cat := uarch.Skylake()
+	mux := bayesperf.DefaultMuxConfig()
+	wl := measure.Workload{Name: "empty"}
+	sess, err := bayesperf.New(bayesperf.WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 1)); err == nil {
+		t.Error("RunBatch on an empty source succeeded")
+	}
+	sess2, _ := bayesperf.New(bayesperf.WithCatalog(cat))
+	if _, err := sess2.RunStream(bayesperf.NewSimSource(cat, wl, mux, 1)); err == nil {
+		t.Error("RunStream on an empty source succeeded")
+	}
+}
