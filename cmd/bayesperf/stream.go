@@ -68,6 +68,8 @@ func streamSession(cat *uarch.Catalog, cfg stream.Config, kind bayesperf.Schedul
 		bayesperf.WithWindow(cfg.Window),
 		bayesperf.WithHop(cfg.Hop),
 		bayesperf.WithWorkers(cfg.Workers),
+		bayesperf.WithBatch(cfg.Batch),
+		bayesperf.WithCovariance(cfg.Covariance),
 		bayesperf.WithInference(cfg.MaxIter, cfg.Tol),
 		bayesperf.WithScheduler(kind),
 		bayesperf.WithDerived(derived),
@@ -137,8 +139,8 @@ func printStreamReport(rep streamReport, cfg stream.Config, quiet, derived bool)
 	// Windows/duration/converged on this line all describe the round-robin
 	// run; the adaptive run's convergence is reported with its comparison
 	// line below.
-	fmt.Printf("window=%d hop=%d workers=%d gumbel=%v   %d windows in %v (converged=%v)\n",
-		cfg.Window, cfg.Hop, cfg.Workers, cfg.Mux.GumbelReject,
+	fmt.Printf("window=%d hop=%d workers=%d batch=%d cov=%v gumbel=%v   %d windows in %v (converged=%v)\n",
+		cfg.Window, cfg.Hop, cfg.Workers, cfg.Batch, cfg.Covariance, cfg.Mux.GumbelReject,
 		rep.Windows, rep.Duration.Round(time.Millisecond), rep.RRConverged)
 	if !quiet {
 		fmt.Printf("aligned per-interval error (DTW, mean over events):\n")
@@ -190,6 +192,8 @@ func streamMain(args []string) {
 	window := fs.Int("window", 0, "intervals per inference window (0 = default)")
 	hop := fs.Int("hop", 0, "stride between windows (0 = default)")
 	workers := fs.Int("workers", 0, "parallel EP engines (0 = all cores)")
+	batch := fs.Int("batch", 0, "windows fused per compiled-plan inference call (0 = default 8; posteriors are batch-size-invariant)")
+	cov := fs.Bool("cov", false, "clique-covariance-aware derived posterior stds (coupled ratio inputs stop counting as independent)")
 	gumbel := fs.Bool("gumbel", false, "Gumbel outlier rejection before std estimation")
 	outliers := fs.Float64("outliers", 0, "probability of an injected corrupted reading per sample")
 	fs.Parse(args)
@@ -207,6 +211,10 @@ func streamMain(args []string) {
 		cfg.Hop = *hop
 	}
 	cfg.Workers = *workers
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	cfg.Covariance = *cov
 	maxIter, tol := sf.inference()
 	if maxIter > 0 {
 		cfg.MaxIter = maxIter

@@ -6,15 +6,21 @@
 // exact on tree-structured relation sets and empirically convergent on the
 // loopy catalogs used here thanks to damping.
 //
+// The engine is two-phase: Compile lowers a catalog once into a flat Plan
+// (dense index arrays plus a precomputed message schedule), and
+// Batch.Execute runs inference for many windows simultaneously over
+// contiguous structure-of-arrays slabs (see plan.go). The Graph type below
+// is the legacy single-window surface, now a thin wrapper over a one-lane
+// batch: Build/Observe/Infer produce posteriors bit-identical to the
+// pre-compilation implementation (asserted against a reference copy in the
+// tests).
+//
 // The graph works on whatever unit the caller observes (per-interval rates
 // or whole-run totals); internally all quantities are rescaled to O(1) so
 // the weak proper prior and the convergence tolerance are scale-free.
 package graph
 
 import (
-	"fmt"
-	"math"
-
 	"bayesperf/internal/uarch"
 )
 
@@ -47,71 +53,40 @@ func fromMoments(mean, variance float64) natural {
 	return natural{p, mean * p}
 }
 
-// observation is one measurement factor attached to a variable.
-type observation struct {
-	mean float64
-	std  float64
-}
+// damping applied to factor→variable messages (in natural parameters);
+// stabilizes loopy message passing on catalogs whose relations share events.
+const damping = 0.7
 
-// Graph is a Gaussian factor graph for one catalog. Build it once per
-// catalog, Observe each measured event, then Infer. Between inference runs
-// over the same catalog (e.g. successive stream windows), ClearObservations
-// resets the measurement factors while keeping every allocation — Build,
-// message and belief buffers — intact.
+// Graph is the single-window inference surface for one catalog: Build it,
+// Observe each measured event, then Infer. Between inference runs over the
+// same catalog (e.g. successive stream windows), ClearObservations resets
+// the measurement factors while keeping every allocation intact. Since the
+// compile/execute refactor it is a one-lane Batch over a compiled Plan;
+// callers inferring many windows should Compile once and Execute them in
+// wider batches instead.
 //
 // A Graph is not safe for concurrent use: parallel EP engines each build
 // their own (see internal/stream's worker pool).
 type Graph struct {
-	cat      *uarch.Catalog
-	obs      []observation // per event, valid iff observed
-	observed []bool
-
-	// Scratch reused across Infer calls, sized at Build time.
-	unary  []natural
-	belief []natural
-	scaled []float64 // observed means / scale (0 if unobserved)
-	means  []float64
-	relVar []float64
-	msg    [][]natural
+	batch *Batch
 }
 
 // Build creates an inference graph over the catalog's events and invariants.
 func Build(cat *uarch.Catalog) *Graph {
-	nv := cat.NumEvents()
-	g := &Graph{
-		cat:      cat,
-		obs:      make([]observation, nv),
-		observed: make([]bool, nv),
-		unary:    make([]natural, nv),
-		belief:   make([]natural, nv),
-		scaled:   make([]float64, nv),
-		means:    make([]float64, nv),
-		relVar:   make([]float64, len(cat.Rels)),
-		msg:      make([][]natural, len(cat.Rels)),
-	}
-	for ri, r := range cat.Rels {
-		g.msg[ri] = make([]natural, len(r.Terms))
-	}
-	return g
+	b := Compile(cat).NewBatch(1)
+	b.EnableCovariance() // single-window Results always answer Cov/Corr
+	return &Graph{batch: b}
 }
 
 // Catalog returns the catalog the graph was built over.
-func (g *Graph) Catalog() *uarch.Catalog { return g.cat }
+func (g *Graph) Catalog() *uarch.Catalog { return g.batch.plan.cat }
 
 // Observe attaches (or replaces) the measurement factor for an event:
 // the event's value is measured as N(mean, std²). For multiplexed counters
 // the std comes from the Student-t marginal of the per-interval samples
 // (measure.Multiplex); std must be positive.
 func (g *Graph) Observe(id uarch.EventID, mean, std float64) {
-	if id < 0 || int(id) >= len(g.obs) {
-		panic(fmt.Sprintf("graph: Observe of unknown event %d", id))
-	}
-	if std <= 0 || math.IsNaN(std) || math.IsNaN(mean) {
-		panic(fmt.Sprintf("graph: Observe(%s) with invalid mean=%v std=%v",
-			g.cat.Event(id).Name, mean, std))
-	}
-	g.obs[id] = observation{mean: mean, std: std}
-	g.observed[id] = true
+	g.batch.Observe(0, id, mean, std)
 }
 
 // ClearObservations detaches every measurement factor so the graph can be
@@ -119,17 +94,20 @@ func (g *Graph) Observe(id uarch.EventID, mean, std float64) {
 // the graph's buffers. Invariant factors (which come from the catalog) are
 // unaffected.
 func (g *Graph) ClearObservations() {
-	for i := range g.observed {
-		g.observed[i] = false
-	}
+	g.batch.ClearObservations()
 }
 
-// Result holds the posterior marginals after Infer, indexed by EventID.
+// Result holds the posterior marginals after Infer (or one lane of a batch
+// Execute), indexed by EventID, plus the per-relation-clique posterior
+// covariances backing Cov/Corr/DerivedPosteriorCov (see cov.go).
 type Result struct {
 	Mean      []float64
 	Std       []float64
 	Iters     int
 	Converged bool
+
+	plan *Plan
+	cov  []float64 // clique covariance blocks, covOff-indexed
 }
 
 // Posterior returns one event's posterior (mean, std) pair.
@@ -140,16 +118,12 @@ func (r *Result) Posterior(id uarch.EventID) (mean, std float64) {
 // DerivedPosterior propagates the posterior through a derived-event
 // formula (§2 "Errors in Derived Events"): the mean is the formula
 // evaluated at the posterior mean, and the std is the first-order delta
-// method over the posterior marginals (uarch.Derived.PropagateStd) —
-// cross-event posterior covariances are not tracked by the factor graph,
-// so the propagation treats the inputs as independent.
+// method over the posterior marginals (uarch.Derived.PropagateStd),
+// treating the inputs as independent. DerivedPosteriorCov is the
+// covariance-aware version.
 func (r *Result) DerivedPosterior(d *uarch.Derived) (mean, std float64) {
 	return d.PosteriorFrom(r.Mean, r.Std)
 }
-
-// damping applied to factor→variable messages (in natural parameters);
-// stabilizes loopy message passing on catalogs whose relations share events.
-const damping = 0.7
 
 // Infer runs damped Gaussian message passing until the largest change in
 // any posterior mean (relative to the problem scale) drops below tol, or
@@ -157,118 +131,5 @@ const damping = 0.7
 // Unobserved events are inferred purely from the invariants (with a weak
 // zero-mean prior keeping their marginals proper).
 func (g *Graph) Infer(maxIter int, tol float64) Result {
-	nv := g.cat.NumEvents()
-	rels := g.cat.Rels
-
-	// Rescale the problem to O(1) so priors and tolerances are scale-free.
-	scale := 1.0
-	for i, o := range g.obs {
-		if g.observed[i] && math.Abs(o.mean) > scale {
-			scale = math.Abs(o.mean)
-		}
-	}
-
-	// Fixed unary factors: weak proper prior plus the observation, in
-	// scaled units.
-	const priorPrec = 1e-12
-	unary := g.unary
-	scaledMeans := g.scaled
-	for i, o := range g.obs {
-		unary[i] = natural{prec: priorPrec}
-		scaledMeans[i] = 0
-		if g.observed[i] {
-			m, s := o.mean/scale, o.std/scale
-			unary[i] = unary[i].add(fromMoments(m, s*s))
-			scaledMeans[i] = m
-		}
-	}
-
-	// Relation factor noise: σ_r = RelTol · magnitude(observed means),
-	// floored so fully-unobserved relations still carry information.
-	relVar := g.relVar
-	for ri, r := range rels {
-		mag := r.Magnitude(scaledMeans)
-		if mag < 1e-6 {
-			mag = 1e-6
-		}
-		sd := r.RelTol * mag
-		relVar[ri] = sd * sd
-	}
-
-	// msg[ri][k] is the message from relation ri to its k-th term's
-	// variable. Beliefs are maintained incrementally.
-	msg := g.msg
-	for ri := range msg {
-		for k := range msg[ri] {
-			msg[ri][k] = natural{}
-		}
-	}
-	belief := g.belief
-	copy(belief, unary)
-
-	means := g.means
-	for i := range means {
-		means[i], _ = belief[i].moments()
-	}
-
-	iters := 0
-	converged := false
-	for iters = 1; iters <= maxIter; iters++ {
-		maxDelta := 0.0
-		for ri, r := range rels {
-			for k, t := range r.Terms {
-				// Gather moments of every other term's variable→factor
-				// message (belief minus this factor's old message).
-				muJ := 0.0
-				varJ := relVar[ri]
-				for k2, t2 := range r.Terms {
-					if k2 == k {
-						continue
-					}
-					m, v := belief[t2.Event].sub(msg[ri][k2]).moments()
-					muJ += t2.Coeff * m
-					varJ += t2.Coeff * t2.Coeff * v
-				}
-				// Solve Σ c_i x_i ~ N(0, σ_r²) for this term.
-				cj := t.Coeff
-				newMsg := fromMoments(-muJ/cj, varJ/(cj*cj))
-				// Damp in natural parameters and update the belief
-				// incrementally.
-				old := msg[ri][k]
-				damped := natural{
-					prec: damping*newMsg.prec + (1-damping)*old.prec,
-					h:    damping*newMsg.h + (1-damping)*old.h,
-				}
-				belief[t.Event] = belief[t.Event].sub(old).add(damped)
-				msg[ri][k] = damped
-			}
-		}
-		for i := range means {
-			m, _ := belief[i].moments()
-			if d := math.Abs(m - means[i]); d > maxDelta {
-				maxDelta = d
-			}
-			means[i] = m
-		}
-		if maxDelta < tol {
-			converged = true
-			break
-		}
-	}
-	if iters > maxIter {
-		iters = maxIter
-	}
-
-	res := Result{
-		Mean:      make([]float64, nv),
-		Std:       make([]float64, nv),
-		Iters:     iters,
-		Converged: converged,
-	}
-	for i := range res.Mean {
-		m, v := belief[i].moments()
-		res.Mean[i] = m * scale
-		res.Std[i] = math.Sqrt(v) * scale
-	}
-	return res
+	return g.batch.Execute(1, maxIter, tol).Window(0)
 }

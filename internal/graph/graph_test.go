@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -273,6 +274,72 @@ func BenchmarkInfer(b *testing.B) {
 		if math.IsNaN(res.Mean[0]) {
 			b.Fatal("NaN posterior")
 		}
+	}
+}
+
+// BenchmarkInferBatch is the compile/execute refactor's headline number:
+// ns per window for batched message passing at B ∈ {1, 8, 64} on the
+// Skylake catalog. B=1 runs the legacy Build/Observe/Infer wrapper (the
+// bit-identical baseline every batch lane is measured against); the wider
+// batches walk the compiled schedule once per sweep for the whole batch.
+// The per-window metric is emitted as ns/window so the trajectory stays
+// comparable across PRs and batch widths.
+func BenchmarkInferBatch(b *testing.B) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+	for _, width := range []int{1, 8, 64} {
+		name := fmt.Sprintf("B=%d", width)
+		b.Run(name, func(b *testing.B) {
+			// Pre-draw one observation set per lane so every run and width
+			// measures identical inference problems.
+			r := rng.New(3)
+			obsMean := make([][]float64, width)
+			obsStd := make([][]float64, width)
+			for w := 0; w < width; w++ {
+				obsMean[w] = make([]float64, len(truth))
+				obsStd[w] = make([]float64, len(truth))
+				for id, want := range truth {
+					obsStd[w][id] = 0.05 * want
+					obsMean[w][id] = r.Gaussian(want, obsStd[w][id])
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if width == 1 {
+				g := Build(c)
+				for i := 0; i < b.N; i++ {
+					g.ClearObservations()
+					for id := range truth {
+						g.Observe(uarch.EventID(id), obsMean[0][id], obsStd[0][id])
+					}
+					res := g.Infer(100, 1e-8)
+					if math.IsNaN(res.Mean[0]) {
+						b.Fatal("NaN posterior")
+					}
+				}
+			} else {
+				batch := Compile(c).NewBatch(width)
+				// Build() enables covariance extraction on the B=1 wrapper,
+				// so the wide batches must pay for it too — otherwise the
+				// ns/window ratio would credit skipped work, not schedule
+				// amortization.
+				batch.EnableCovariance()
+				for i := 0; i < b.N; i++ {
+					batch.ClearObservations()
+					for w := 0; w < width; w++ {
+						for id := range truth {
+							batch.Observe(w, uarch.EventID(id), obsMean[w][id], obsStd[w][id])
+						}
+					}
+					res := batch.Execute(width, 100, 1e-8)
+					if math.IsNaN(res.Mean[0]) {
+						b.Fatal("NaN posterior")
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/window")
+		})
 	}
 }
 

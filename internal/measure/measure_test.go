@@ -9,6 +9,33 @@ import (
 	"bayesperf/internal/uarch"
 )
 
+// TestEstimateSamplesMatchesScalar: the batch estimator is one
+// EstimateSample per event, bit for bit, including the never-counted zero
+// Sample.
+func TestEstimateSamplesMatchesScalar(t *testing.T) {
+	cfg := DefaultMuxConfig()
+	xss := [][]float64{
+		{1e6, 1.1e6, 0.9e6},
+		nil, // never counted
+		{5e3},
+		{2e6, 2e6, 2e6, 2e6, 2e6}, // full coverage
+	}
+	const intervals = 5
+	got := EstimateSamples(xss, intervals, cfg)
+	if len(got) != len(xss) {
+		t.Fatalf("%d samples, want %d", len(got), len(xss))
+	}
+	for id, xs := range xss {
+		want := EstimateSample(xs, intervals, cfg)
+		if got[id] != want {
+			t.Errorf("event %d: batch %+v != scalar %+v", id, got[id], want)
+		}
+	}
+	if got[1].N != 0 || got[1].Total != 0 {
+		t.Errorf("never-counted event estimated as %+v", got[1])
+	}
+}
+
 func TestGroundTruthSatisfiesInvariants(t *testing.T) {
 	for _, cat := range uarch.Catalogs() {
 		tr := GroundTruth(cat, DefaultWorkload(40), rng.New(1))

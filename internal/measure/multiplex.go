@@ -206,6 +206,19 @@ func TObsStd(spread float64, n, intervals int) float64 {
 	return spread / math.Sqrt(float64(n)) * tFactor * float64(intervals)
 }
 
+// EstimateSamples is the batch surface over EstimateSample: one §4.2
+// estimate per event from that event's counted readings, in EventID order.
+// It exists so whole-run consumers (pkg/bayesperf.Session.RunBatch) and
+// the simulator share a single call producing the full observation vector
+// the factor graph is observed from.
+func EstimateSamples(xss [][]float64, intervals int, cfg MuxConfig) []Sample {
+	out := make([]Sample, len(xss))
+	for id, xs := range xss {
+		out[id] = EstimateSample(xs, intervals, cfg)
+	}
+	return out
+}
+
 // Multiplex simulates one multiplexed run over the ground-truth trace:
 // fixed events are counted in every interval; programmable events are
 // round-robin scheduled in groups and only counted in their group's

@@ -38,6 +38,17 @@ type Config struct {
 	// Workers is the number of parallel EP engines (0 = all cores, capped
 	// at 8 — windows are small, so more engines stop paying off).
 	Workers int
+	// Batch is the number of windows fused into one compiled-plan Execute
+	// call per worker (0 = default 8). Each batch lane runs the identical
+	// per-window arithmetic, so the stitched output is bit-identical for
+	// every batch size; larger batches only amortize the message-schedule
+	// walk across more windows.
+	Batch int
+	// Covariance switches the derived-event posterior std series from the
+	// diagonal delta method to clique-covariance-aware propagation: each
+	// window's per-relation posterior correlations are stitched alongside
+	// the marginals and enter the delta method's cross terms.
+	Covariance bool
 	// MaxIter and Tol are passed to graph.Infer per window.
 	MaxIter int
 	Tol     float64
@@ -59,6 +70,7 @@ func DefaultConfig() Config {
 	return Config{
 		Window:  24,
 		Hop:     4,
+		Batch:   8,
 		MaxIter: 500,
 		Tol:     1e-9,
 		Mux:     measure.DefaultMuxConfig(),
@@ -84,6 +96,9 @@ func (c Config) WithDefaults() Config {
 			c.Workers = 8
 		}
 	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
 	if c.MaxIter <= 0 {
 		c.MaxIter = 500
 	}
@@ -103,8 +118,12 @@ type WindowPosterior struct {
 	ObsStd     []float64
 	Disp       []float64
 	Observed   []bool
-	Iters      int
-	Converged  bool
+	// Rho is the window's posterior correlation per tracked event pair
+	// (the engine's covPairs order): clique correlations of derived-input
+	// pairs that share an invariant. Nil unless Config.Covariance.
+	Rho       []float64
+	Iters     int
+	Converged bool
 }
 
 // Result is the outcome of one streamed run.
@@ -152,8 +171,9 @@ type Result struct {
 // An Engine is single-producer: Ingest/Flush/Finish must come from one
 // goroutine (the worker pool parallelism is internal).
 type Engine struct {
-	cat *uarch.Catalog
-	cfg Config
+	cat  *uarch.Catalog
+	cfg  Config
+	plan *graph.Plan // compiled once, shared read-only by every worker
 
 	win         *Window
 	ingested    int
@@ -161,9 +181,20 @@ type Engine struct {
 	nextIdx     int
 	pending     int
 
-	jobs    chan windowJob
+	// Snapshotted windows accumulate here until a full batch (cfg.Batch)
+	// is ready to dispatch; Flush and Finish dispatch partial batches.
+	jobBuf  []windowJob
+	jobs    chan []windowJob
 	results chan WindowPosterior
 	wg      sync.WaitGroup
+
+	// Tracked posterior-correlation pairs (Config.Covariance): the derived
+	// formulas' input pairs that share a relation clique. derivedPairs maps
+	// each derived metric onto its pairs' indices.
+	covPairs     []covPair
+	derivedPairs [][]pairRef
+	rhoNum       [][]float64 // per pair, per interval: Σ tri·ρ over windows
+	rhoDen       [][]float64 // per pair, per interval: Σ tri
 
 	// Out-of-order posteriors park here until their index is next; all
 	// stitching happens in index order so results are bit-identical for
@@ -207,16 +238,29 @@ type Engine struct {
 	epochN      int
 }
 
+// covPair is one tracked posterior-correlation pair.
+type covPair struct {
+	a, b uarch.EventID
+}
+
+// pairRef ties a derived metric's input positions (i < j) to the tracked
+// pair's index in the engine's covPairs.
+type pairRef struct {
+	i, j, pi int
+}
+
 // NewEngine starts a streaming engine (and its worker pool) over the
-// catalog.
+// catalog. The factor graph is compiled once here; every worker executes
+// batches of windows against the shared plan.
 func NewEngine(cat *uarch.Catalog, cfg Config) *Engine {
 	cfg = cfg.WithDefaults()
 	ne := cat.NumEvents()
 	e := &Engine{
 		cat:         cat,
 		cfg:         cfg,
+		plan:        graph.Compile(cat),
 		win:         NewWindow(cat, cfg.Window),
-		jobs:        make(chan windowJob, 2*cfg.Workers),
+		jobs:        make(chan []windowJob, 2*cfg.Workers),
 		results:     make(chan WindowPosterior, 4*cfg.Workers),
 		parked:      make(map[int]WindowPosterior),
 		corrNum:     make([][]float64, ne),
@@ -253,6 +297,10 @@ func NewEngine(cat *uarch.Catalog, cfg Config) *Engine {
 		}
 	}
 	e.tri = make([]float64, cfg.Window)
+	e.jobBuf = make([]windowJob, 0, cfg.Batch)
+	if cfg.Covariance {
+		e.buildCovPairs()
+	}
 	e.wg.Add(cfg.Workers)
 	for wi := 0; wi < cfg.Workers; wi++ {
 		go e.worker(wi)
@@ -260,27 +308,82 @@ func NewEngine(cat *uarch.Catalog, cfg Config) *Engine {
 	return e
 }
 
-// worker is one EP engine: it builds its graph once and re-observes it per
-// window (graph.ClearObservations), so the steady state allocates only the
-// posterior it ships back.
-func (e *Engine) worker(wi int) {
-	defer e.wg.Done()
-	g := graph.Build(e.cat)
-	var iters stats.Running
-	for job := range e.jobs {
-		g.ClearObservations()
-		for id, ok := range job.observed {
-			if ok {
-				g.Observe(uarch.EventID(id), job.obsMean[id], job.obsStd[id])
+// buildCovPairs enumerates the derived formulas' input pairs that share a
+// relation clique — the pairs whose posterior correlation each window must
+// report for covariance-aware derived stds — deduplicated across formulas.
+func (e *Engine) buildCovPairs() {
+	e.derivedPairs = make([][]pairRef, len(e.cat.Derived))
+	index := make(map[[2]uarch.EventID]int)
+	for di := range e.cat.Derived {
+		d := &e.cat.Derived[di]
+		for i := 0; i < len(d.Inputs); i++ {
+			for j := i + 1; j < len(d.Inputs); j++ {
+				a, b := d.Inputs[i], d.Inputs[j]
+				if a == b || !e.plan.SharesClique(a, b) {
+					continue
+				}
+				key := [2]uarch.EventID{a, b}
+				if a > b {
+					key = [2]uarch.EventID{b, a}
+				}
+				pi, ok := index[key]
+				if !ok {
+					pi = len(e.covPairs)
+					index[key] = pi
+					e.covPairs = append(e.covPairs, covPair{a: key[0], b: key[1]})
+				}
+				e.derivedPairs[di] = append(e.derivedPairs[di], pairRef{i: i, j: j, pi: pi})
 			}
 		}
-		res := g.Infer(e.cfg.MaxIter, e.cfg.Tol)
-		iters.Add(float64(res.Iters))
-		e.results <- WindowPosterior{
-			Index: job.index, Start: job.start, End: job.end,
-			Mean: res.Mean, Std: res.Std,
-			ObsStd: job.obsStd, Disp: job.disp, Observed: job.observed,
-			Iters: res.Iters, Converged: res.Converged,
+	}
+	e.rhoNum = make([][]float64, len(e.covPairs))
+	e.rhoDen = make([][]float64, len(e.covPairs))
+	if e.cfg.SizeHint > 0 {
+		for pi := range e.rhoNum {
+			e.rhoNum[pi] = make([]float64, 0, e.cfg.SizeHint)
+			e.rhoDen[pi] = make([]float64, 0, e.cfg.SizeHint)
+		}
+	}
+}
+
+// worker is one EP engine: it owns one batch over the engine's shared
+// compiled plan, re-observes its lanes per dispatched batch of windows,
+// and executes them in a single schedule walk. The steady state allocates
+// only the posteriors it ships back.
+func (e *Engine) worker(wi int) {
+	defer e.wg.Done()
+	batch := e.plan.NewBatch(e.cfg.Batch)
+	if len(e.covPairs) > 0 {
+		batch.EnableCovariance()
+	}
+	var iters stats.Running
+	for jobs := range e.jobs {
+		batch.ClearObservations()
+		for lane, job := range jobs {
+			for id, ok := range job.observed {
+				if ok {
+					batch.Observe(lane, uarch.EventID(id), job.obsMean[id], job.obsStd[id])
+				}
+			}
+		}
+		br := batch.Execute(len(jobs), e.cfg.MaxIter, e.cfg.Tol)
+		for lane, job := range jobs {
+			res := br.Window(lane)
+			iters.Add(float64(res.Iters))
+			var rho []float64
+			if len(e.covPairs) > 0 {
+				rho = make([]float64, len(e.covPairs))
+				for pi, p := range e.covPairs {
+					rho[pi] = res.Corr(p.a, p.b)
+				}
+			}
+			e.results <- WindowPosterior{
+				Index: job.index, Start: job.start, End: job.end,
+				Mean: res.Mean, Std: res.Std,
+				ObsStd: job.obsStd, Disp: job.disp, Observed: job.observed,
+				Rho:   rho,
+				Iters: res.Iters, Converged: res.Converged,
+			}
 		}
 	}
 	e.workerIters[wi] = iters
@@ -308,6 +411,10 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 		e.liveDen[id] = append(e.liveDen[id], 0)
 		e.liveStd[id] = append(e.liveStd[id], 0)
 		e.naive[id] = append(e.naive[id], e.lastVal[id])
+	}
+	for pi := range e.rhoNum {
+		e.rhoNum[pi] = append(e.rhoNum[pi], 0)
+		e.rhoDen[pi] = append(e.rhoDen[pi], 0)
 	}
 	e.win.Push(s)
 	e.ingested++
@@ -341,17 +448,31 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 	}
 }
 
-// emit snapshots the current window and hands it to the pool, absorbing
-// finished posteriors whenever the job queue pushes back.
+// emit snapshots the current window into the batch buffer; a full buffer
+// (cfg.Batch windows) is dispatched to the pool as one batched job.
 func (e *Engine) emit() {
 	job := e.win.snapshot(e.nextIdx, e.cfg.Mux)
 	e.stitchRaw(job)
 	e.nextIdx++
 	e.pending++
 	e.lastEmitEnd = job.end
+	e.jobBuf = append(e.jobBuf, job)
+	if len(e.jobBuf) == e.cfg.Batch {
+		e.dispatch()
+	}
+}
+
+// dispatch hands the buffered windows (a full or partial batch) to the
+// pool, absorbing finished posteriors whenever the job queue pushes back.
+func (e *Engine) dispatch() {
+	if len(e.jobBuf) == 0 {
+		return
+	}
+	jobs := e.jobBuf
+	e.jobBuf = make([]windowJob, 0, e.cfg.Batch)
 	for {
 		select {
-		case e.jobs <- job:
+		case e.jobs <- jobs:
 			return
 		case r := <-e.results:
 			e.absorb(r)
@@ -377,10 +498,13 @@ func (e *Engine) absorb(r WindowPosterior) {
 	}
 }
 
-// Flush blocks until every dispatched window's posterior has been stitched.
-// Call it at epoch boundaries before reading EpochPosterior, so the
-// scheduler feedback does not depend on worker timing.
+// Flush dispatches any partially filled batch and blocks until every
+// emitted window's posterior has been stitched. Call it at epoch
+// boundaries before reading EpochPosterior, so the scheduler feedback does
+// not depend on worker timing (or on where the epoch falls within a
+// batch).
 func (e *Engine) Flush() {
+	e.dispatch()
 	for e.pending > 0 {
 		e.absorb(<-e.results)
 	}
@@ -480,6 +604,20 @@ func (e *Engine) stitchCorrected(r WindowPosterior) {
 			e.epochObsN[id]++
 		}
 	}
+	// Stitch the tracked clique correlations with the triangular kernel
+	// alone: ρ is dimensionless and the windows covering an interval see
+	// near-identical observation precisions, so precision weighting would
+	// only re-derive the kernel. The stitched ρ̄(t) recombines with the
+	// stitched marginal stds in stitchDerived.
+	for pi := range r.Rho {
+		rho := r.Rho[pi]
+		rn := e.rhoNum[pi][r.Start:r.End]
+		rd := e.rhoDen[pi][r.Start:r.End]
+		for i, k := range tri {
+			rn[i] += k * rho
+			rd[i] += k
+		}
+	}
 	e.epochN++
 }
 
@@ -518,6 +656,7 @@ func (e *Engine) Finish() *Result {
 	if e.ingested > 0 && e.lastEmitEnd < e.ingested {
 		e.emit()
 	}
+	e.dispatch()
 	close(e.jobs)
 	e.Flush()
 	e.wg.Wait()
@@ -572,39 +711,90 @@ func (e *Engine) Finish() *Result {
 // per-event series: the corrected posterior (mean via the formula at the
 // posterior mean, std via the delta method over the stitched posterior
 // stds) plus the windowed-raw and naive baselines through the same
-// formulas. Runs once at Finish; derived ratios are scale-free, so
-// per-interval rates feed them directly.
+// formulas. With Config.Covariance the delta method additionally receives
+// each input pair's stitched clique correlation ρ̄(t), so e.g. a ratio
+// whose numerator and denominator share an invariant stops counting their
+// coupling as independent noise. Runs once at Finish; derived ratios are
+// scale-free, so per-interval rates feed them directly.
 func (e *Engine) stitchDerived(res *Result) {
 	nd := len(e.cat.Derived)
 	res.DerivedCorrected = make([]timeseries.Series, nd)
 	res.DerivedCorrectedStd = make([]timeseries.Series, nd)
 	res.DerivedWindowedRaw = make([]timeseries.Series, nd)
 	res.DerivedNaive = make([]timeseries.Series, nd)
+	rhoBar := e.stitchedRho()
 	for di := range e.cat.Derived {
 		d := &e.cat.Derived[di]
 		in := make([]float64, len(d.Inputs))
 		sd := make([]float64, len(d.Inputs))
 		corr := make(timeseries.Series, e.ingested)
 		cstd := make(timeseries.Series, e.ingested)
+		// Covariance-aware propagation: resolve this formula's tracked
+		// pairs once, then hand PropagateStdCov a lookup over the current
+		// interval's stitched correlations. A formula with no coupled
+		// pairs keeps corrFn nil, which PropagateStdCov reduces to the
+		// diagonal PropagateStd bit for bit.
+		var corrFn func(i, j int) float64
+		tt := 0 // the interval corrFn reads; advanced by the loop below
+		if len(e.derivedPairs) > 0 && len(e.derivedPairs[di]) > 0 {
+			refs := make(map[int]int, len(e.derivedPairs[di]))
+			for _, pr := range e.derivedPairs[di] {
+				refs[pr.i<<16|pr.j] = pr.pi
+			}
+			corrFn = func(i, j int) float64 {
+				if pi, ok := refs[i<<16|j]; ok {
+					return rhoBar[pi][tt]
+				}
+				return 0
+			}
+		}
 		for t := 0; t < e.ingested; t++ {
 			for i, id := range d.Inputs {
 				in[i] = res.Corrected[id][t]
 				sd[i] = res.CorrectedStd[id][t]
 			}
+			tt = t
 			corr[t] = d.Eval(in)
-			cstd[t] = d.PropagateStd(in, sd)
+			cstd[t] = d.PropagateStdCov(in, sd, corrFn)
 		}
 		res.DerivedCorrected[di] = corr
 		res.DerivedCorrectedStd[di] = cstd
-		gatherRaw := make([]timeseries.Series, len(d.Inputs))
-		gatherNaive := make([]timeseries.Series, len(d.Inputs))
-		for i, id := range d.Inputs {
-			gatherRaw[i] = res.WindowedRaw[id]
-			gatherNaive[i] = res.NaiveRaw[id]
-		}
-		res.DerivedWindowedRaw[di] = timeseries.Map(d.Eval, gatherRaw...)
-		res.DerivedNaive[di] = timeseries.Map(d.Eval, gatherNaive...)
+		e.stitchDerivedBaselines(res, di)
 	}
+}
+
+// stitchDerivedBaselines pushes the windowed-raw and naive baselines
+// through one derived formula.
+func (e *Engine) stitchDerivedBaselines(res *Result, di int) {
+	d := &e.cat.Derived[di]
+	gatherRaw := make([]timeseries.Series, len(d.Inputs))
+	gatherNaive := make([]timeseries.Series, len(d.Inputs))
+	for i, id := range d.Inputs {
+		gatherRaw[i] = res.WindowedRaw[id]
+		gatherNaive[i] = res.NaiveRaw[id]
+	}
+	res.DerivedWindowedRaw[di] = timeseries.Map(d.Eval, gatherRaw...)
+	res.DerivedNaive[di] = timeseries.Map(d.Eval, gatherNaive...)
+}
+
+// stitchedRho resolves the tracked pairs' per-interval stitched
+// correlations ρ̄(t) = Σ tri·ρ / Σ tri over the covering windows (0 where
+// no window covered the interval). Returns nil when no pairs are tracked.
+func (e *Engine) stitchedRho() [][]float64 {
+	if len(e.covPairs) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(e.covPairs))
+	for pi := range e.covPairs {
+		rb := make([]float64, e.ingested)
+		for t := 0; t < e.ingested; t++ {
+			if den := e.rhoDen[pi][t]; den > 0 {
+				rb[t] = e.rhoNum[pi][t] / den
+			}
+		}
+		out[pi] = rb
+	}
+	return out
 }
 
 // IntervalSource feeds the streaming engine: anything that emits a sequence

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -37,6 +38,34 @@ func BenchmarkStreamWindow(b *testing.B) {
 	b.Run("workers=1", func(b *testing.B) { benchStream(b, tr, 1) })
 	b.Run("workers=2", func(b *testing.B) { benchStream(b, tr, 2) })
 	b.Run("workers=4", func(b *testing.B) { benchStream(b, tr, 4) })
+}
+
+// BenchmarkStreamBatched tracks what window batching buys the streaming
+// engine end to end: the same trace and worker pool at batch widths 1, 8
+// and 32, with per-window cost emitted as ns/window so the trajectory is
+// comparable across PRs and against BenchmarkInferBatch's inference-only
+// number.
+func BenchmarkStreamBatched(b *testing.B) {
+	tr := benchTrace()
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = 2
+			cfg.Batch = batch
+			windows := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := RunTrace(tr, measure.NewRoundRobin(tr.Cat), cfg, rng.New(2))
+				if !res.AllConverged {
+					b.Fatal("window inference did not converge")
+				}
+				windows = res.Windows
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
+		})
+	}
 }
 
 // TestStreamParallelSpeedup pins the worker pool's reason to exist (and

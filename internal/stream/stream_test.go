@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math"
+	"strconv"
 	"testing"
 
 	"bayesperf/internal/graph"
@@ -274,6 +275,137 @@ func TestStreamDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if res.PostRelStd != base.PostRelStd {
 			t.Errorf("workers=%d: posterior-std pool diverged", workers)
+		}
+	}
+}
+
+// TestStreamDeterministicAcrossBatchSizes is the batching regression test:
+// the stitched output — every event series, the pooled uncertainty metric,
+// and the derived posterior series (covariance-aware included) — must be
+// bit-identical for any batch width × worker count. Batch lanes run
+// independent arithmetic and stitching is forced into window-index order,
+// so no grouping of windows into Execute calls may leak into the result.
+func TestStreamDeterministicAcrossBatchSizes(t *testing.T) {
+	cat := uarch.Skylake()
+	tr := measure.GroundTruth(cat, measure.DefaultWorkload(60), rng.New(5))
+	for _, covariance := range []bool{false, true} {
+		var base *Result
+		var baseLabel string
+		for _, batch := range []int{1, 3, 8, 64} {
+			for _, workers := range []int{1, 4} {
+				cfg := testConfig(workers)
+				cfg.Batch = batch
+				cfg.Covariance = covariance
+				label := "batch=" + strconv.Itoa(batch) + " workers=" + strconv.Itoa(workers)
+				res := RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(6))
+				if base == nil {
+					base, baseLabel = res, label
+					continue
+				}
+				if res.Windows != base.Windows || res.Intervals != base.Intervals {
+					t.Fatalf("cov=%v %s: shape %d/%d vs %s %d/%d", covariance, label,
+						res.Windows, res.Intervals, baseLabel, base.Windows, base.Intervals)
+				}
+				for id := range base.Corrected {
+					for _, pair := range []struct {
+						name string
+						a, b timeseries.Series
+					}{
+						{"corrected", res.Corrected[id], base.Corrected[id]},
+						{"correctedStd", res.CorrectedStd[id], base.CorrectedStd[id]},
+						{"windowedRaw", res.WindowedRaw[id], base.WindowedRaw[id]},
+						{"naiveRaw", res.NaiveRaw[id], base.NaiveRaw[id]},
+					} {
+						for ti := range pair.b {
+							if pair.a[ti] != pair.b[ti] {
+								t.Fatalf("cov=%v %s: %s[%d][%d] = %v, want %v (%s)",
+									covariance, label, pair.name, id, ti, pair.a[ti], pair.b[ti], baseLabel)
+							}
+						}
+					}
+				}
+				for di := range base.DerivedCorrected {
+					for _, pair := range []struct {
+						name string
+						a, b timeseries.Series
+					}{
+						{"derivedCorrected", res.DerivedCorrected[di], base.DerivedCorrected[di]},
+						{"derivedCorrectedStd", res.DerivedCorrectedStd[di], base.DerivedCorrectedStd[di]},
+					} {
+						for ti := range pair.b {
+							if pair.a[ti] != pair.b[ti] {
+								t.Fatalf("cov=%v %s: %s[%d][%d] = %v, want %v (%s)",
+									covariance, label, pair.name, di, ti, pair.a[ti], pair.b[ti], baseLabel)
+							}
+						}
+					}
+				}
+				if res.PostRelStd != base.PostRelStd {
+					t.Errorf("cov=%v %s: posterior-std pool diverged from %s", covariance, label, baseLabel)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamCovarianceAwareDerivedStd checks the covariance threading end
+// to end at the stream level: with Config.Covariance the derived posterior
+// std series of a clique-coupled ratio (Branch_Misp_Rate: numerator and
+// denominator share branch_breakdown) changes and stays strictly positive
+// and finite, the corrected mean series is untouched, and formulas with no
+// coupled inputs keep their diagonal stds bit for bit.
+func TestStreamCovarianceAwareDerivedStd(t *testing.T) {
+	cat := uarch.Skylake()
+	tr := measure.GroundTruth(cat, measure.DefaultWorkload(60), rng.New(5))
+	run := func(covariance bool) *Result {
+		cfg := testConfig(2)
+		cfg.Covariance = covariance
+		return RunTrace(tr, measure.NewRoundRobin(cat), cfg, rng.New(6))
+	}
+	diag := run(false)
+	cov := run(true)
+
+	coupled := -1
+	for di := range cat.Derived {
+		if cat.Derived[di].Name == "Branch_Misp_Rate" {
+			coupled = di
+		}
+	}
+	if coupled < 0 {
+		t.Fatal("Skylake catalog lost Branch_Misp_Rate")
+	}
+	for di := range cat.Derived {
+		for ti := range diag.DerivedCorrected[di] {
+			if cov.DerivedCorrected[di][ti] != diag.DerivedCorrected[di][ti] {
+				t.Fatalf("%s: covariance mode changed the corrected mean at interval %d",
+					cat.Derived[di].Name, ti)
+			}
+		}
+	}
+	changed := 0
+	for ti := range diag.DerivedCorrectedStd[coupled] {
+		c, d := cov.DerivedCorrectedStd[coupled][ti], diag.DerivedCorrectedStd[coupled][ti]
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("covariance-aware Branch_Misp_Rate std[%d] = %v", ti, c)
+		}
+		if c != d {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("covariance mode left every Branch_Misp_Rate std bit-identical to the diagonal")
+	}
+	// IPC's inputs share no relation on Skylake: its stds must be
+	// untouched by the covariance mode.
+	ipc := -1
+	for di := range cat.Derived {
+		if cat.Derived[di].Name == "IPC" {
+			ipc = di
+		}
+	}
+	for ti := range diag.DerivedCorrectedStd[ipc] {
+		if cov.DerivedCorrectedStd[ipc][ti] != diag.DerivedCorrectedStd[ipc][ti] {
+			t.Fatalf("uncoupled IPC std changed at interval %d", ti)
 		}
 	}
 }

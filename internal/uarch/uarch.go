@@ -206,6 +206,52 @@ func (d *Derived) PropagateStd(in, std []float64) float64 {
 	return math.Sqrt(v)
 }
 
+// PropagateStdCov is the covariance-aware delta method: like PropagateStd,
+// but cross-input coupling enters through corr(i, j) — the posterior
+// correlation of inputs i and j (positions in Inputs order), as extracted
+// per relation clique by the factor graph. A nil corr, or one returning 0
+// for every pair, reproduces the diagonal PropagateStd bit for bit.
+// Correlations are clamped to [−1, 1] and the accumulated variance floored
+// at 0, so an inconsistent covariance model can never yield a NaN std.
+func (d *Derived) PropagateStdCov(in, std []float64, corr func(i, j int) float64) float64 {
+	g := d.Gradient(in)
+	var v float64
+	for i, gi := range g {
+		if math.IsNaN(gi) || math.IsInf(gi, 0) {
+			continue
+		}
+		t := gi * std[i]
+		v += t * t
+	}
+	if corr != nil {
+		for i, gi := range g {
+			if math.IsNaN(gi) || math.IsInf(gi, 0) {
+				continue
+			}
+			for j := i + 1; j < len(g); j++ {
+				gj := g[j]
+				if math.IsNaN(gj) || math.IsInf(gj, 0) {
+					continue
+				}
+				rho := corr(i, j)
+				if rho == 0 || math.IsNaN(rho) {
+					continue
+				}
+				if rho > 1 {
+					rho = 1
+				} else if rho < -1 {
+					rho = -1
+				}
+				v += 2 * (gi * std[i]) * (gj * std[j]) * rho
+			}
+		}
+	}
+	if v < 0 {
+		v = 0 // clamped correlations keep this near-impossible for k=2; guard k>2
+	}
+	return math.Sqrt(v)
+}
+
 // Catalog is the complete event model for one CPU architecture.
 type Catalog struct {
 	Arch     string // e.g. "x86_64-skylake"

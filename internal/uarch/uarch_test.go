@@ -378,6 +378,62 @@ func TestPropagateStdGoldenIPC(t *testing.T) {
 	}
 }
 
+// TestPropagateStdCovGoldenIPC extends the golden delta-method check with
+// a correlated pair: for IPC = I/C with correlation ρ between the inputs,
+// the covariance-aware std must equal the hand-computed
+// √((σ_I/C)² + (I·σ_C/C²)² + 2·(σ_I/C)·(−I·σ_C/C²)·ρ) — strictly below
+// the diagonal value for ρ > 0 (errors that move together cancel in a
+// ratio) and above it for ρ < 0.
+func TestPropagateStdCovGoldenIPC(t *testing.T) {
+	c := Skylake()
+	d := c.DerivedByName("IPC")
+	const (
+		instr, sigI = 1.0e9, 1.0e7
+		cyc, sigC   = 8.0e8, 4.0e6
+	)
+	in := []float64{instr, cyc}
+	sd := []float64{sigI, sigC}
+	diag := d.PropagateStd(in, sd)
+	for _, rho := range []float64{0.8, -0.8} {
+		got := d.PropagateStdCov(in, sd, func(i, j int) float64 { return rho })
+		gI, gC := 1/cyc, -instr/(cyc*cyc)
+		want := math.Sqrt(gI*sigI*gI*sigI + gC*sigC*gC*sigC + 2*gI*sigI*gC*sigC*rho)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("rho=%v: covariance-aware std = %g, hand-computed %g", rho, got, want)
+		}
+		if rho > 0 && got >= diag {
+			t.Errorf("rho=%v: covariance-aware std %g not below diagonal %g", rho, got, diag)
+		}
+		if rho < 0 && got <= diag {
+			t.Errorf("rho=%v: covariance-aware std %g not above diagonal %g", rho, got, diag)
+		}
+	}
+
+	// nil corr — and a corr that always reports independence — reproduce
+	// the diagonal propagation bit for bit.
+	if got := d.PropagateStdCov(in, sd, nil); got != diag {
+		t.Errorf("nil-corr covariance propagation %g != diagonal %g", got, diag)
+	}
+	if got := d.PropagateStdCov(in, sd, func(i, j int) float64 { return 0 }); got != diag {
+		t.Errorf("zero-corr covariance propagation %g != diagonal %g", got, diag)
+	}
+
+	// Out-of-range correlations clamp to ±1 instead of breaking the
+	// variance's positivity; the fully-cancelling direction floors at 0.
+	if got := d.PropagateStdCov(in, sd, func(i, j int) float64 { return 99 }); math.IsNaN(got) || got < 0 {
+		t.Errorf("clamped correlation produced std %v", got)
+	}
+	wantClamped := d.PropagateStdCov(in, sd, func(i, j int) float64 { return 1 })
+	if got := d.PropagateStdCov(in, sd, func(i, j int) float64 { return 99 }); got != wantClamped {
+		t.Errorf("rho=99 std %g != rho=1 std %g", got, wantClamped)
+	}
+	// NaN correlations are ignored (treated as uncoupled), never
+	// propagated.
+	if got := d.PropagateStdCov(in, sd, func(i, j int) float64 { return math.NaN() }); got != diag {
+		t.Errorf("NaN-corr std %g != diagonal %g", got, diag)
+	}
+}
+
 // TestDerivedZeroDenominator exercises every catalog formula's safeDiv
 // guard: with an all-zero input vector the value is 0 and the propagated
 // std stays finite and non-negative (the guard's discontinuity must not

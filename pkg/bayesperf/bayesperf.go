@@ -197,6 +197,32 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithBatch sets how many streaming windows each EP engine fuses into one
+// compiled-plan inference call (0 = default 8). Batch width never changes
+// a posterior bit — each lane runs the identical per-window arithmetic —
+// it only amortizes the message-schedule walk across more windows.
+func WithBatch(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("bayesperf: negative batch width %d", n)
+		}
+		s.cfg.Batch = n
+		return nil
+	}
+}
+
+// WithCovariance switches derived-event posterior stds from the diagonal
+// delta method to clique-covariance-aware propagation: input pairs that
+// share a microarchitectural invariant contribute their factor-graph
+// posterior correlation to the delta method's cross terms, in both batch
+// reports and the streamed per-interval std series.
+func WithCovariance(on bool) Option {
+	return func(s *Session) error {
+		s.cfg.Covariance = on
+		return nil
+	}
+}
+
 // WithInference sets the per-inference budget: maximum message-passing
 // sweeps and the convergence tolerance on posterior means (zero keeps the
 // respective default).
@@ -381,10 +407,9 @@ func (s *Session) RunBatch(src Source) (*Report, error) {
 		return nil, fmt.Errorf("bayesperf: source produced no intervals")
 	}
 
-	est := make([]measure.Sample, cat.NumEvents())
+	est := measure.EstimateSamples(xs, intervals, cfg.Mux)
 	g := graph.Build(cat)
 	for id := range est {
-		est[id] = measure.EstimateSample(xs[id], intervals, cfg.Mux)
 		if est[id].N > 0 {
 			g.Observe(EventID(id), est[id].Total, est[id].Std)
 		}

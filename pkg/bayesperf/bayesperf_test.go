@@ -134,6 +134,172 @@ func TestZenJSONEndToEnd(t *testing.T) {
 	}
 }
 
+const neoverseSpecPath = "../../examples/catalogs/neoverse.json"
+
+// TestNeoverseJSONEndToEnd runs the ARM Neoverse-like JSON catalog through
+// the whole pipeline alongside zen's test, with the compile/execute
+// additions switched on: a wide window batch and clique-covariance-aware
+// derived stds. The catalog must form ≥4 multiplex groups and both run
+// modes must beat their raw baselines.
+func TestNeoverseJSONEndToEnd(t *testing.T) {
+	spec, err := bayesperf.LoadSpecFile(neoverseSpecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := bayesperf.New(
+		bayesperf.WithSpec(spec),
+		bayesperf.WithDerived(true),
+		bayesperf.WithBatch(16),
+		bayesperf.WithCovariance(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sess.Catalog()
+	if err := measure.ValidateModels(cat); err != nil {
+		t.Fatal(err)
+	}
+	wl := bayesperf.DefaultWorkload(100)
+	mux := bayesperf.DefaultMuxConfig()
+
+	rep, err := sess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups < 4 {
+		t.Fatalf("neoverse catalog forms %d multiplex groups, want >= 4", rep.Groups)
+	}
+	if !rep.HasTruth || !rep.Converged {
+		t.Fatalf("neoverse stream run: truth=%v converged=%v", rep.HasTruth, rep.Converged)
+	}
+	if !rep.Improved() {
+		t.Errorf("neoverse corrected aligned error %.4f%% not below naive %.4f%%",
+			100*rep.CorrectedAligned, 100*rep.NaiveAligned)
+	}
+	if len(rep.DerivedStream) != len(cat.Derived) {
+		t.Fatalf("%d derived stream rows, want %d", len(rep.DerivedStream), len(cat.Derived))
+	}
+	for _, row := range rep.DerivedStream {
+		if row.MinPostStd <= 0 {
+			t.Errorf("%s: min per-interval posterior std %v, want > 0", row.Name, row.MinPostStd)
+		}
+	}
+
+	batch, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Improved() {
+		t.Errorf("neoverse batch corrected err %.4f%% not below raw %.4f%%",
+			100*batch.CorrMeanErr, 100*batch.RawMeanErr)
+	}
+	for _, d := range batch.Derived {
+		if d.Std <= 0 {
+			t.Errorf("%s: batch posterior std %v, want > 0", d.Name, d.Std)
+		}
+	}
+}
+
+// TestSessionBatchWidthInvariance is the WithBatch contract at the API
+// surface: any batch width yields a bit-identical streamed report.
+func TestSessionBatchWidthInvariance(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(40)
+	mux := bayesperf.DefaultMuxConfig()
+	run := func(batch int) *bayesperf.Report {
+		sess, err := bayesperf.New(
+			bayesperf.WithCatalog(cat),
+			bayesperf.WithMux(mux),
+			bayesperf.WithBatch(batch),
+			bayesperf.WithCovariance(true),
+			bayesperf.WithDerived(true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(1)
+	for _, batch := range []int{4, 32} {
+		rep := run(batch)
+		if rep.CorrectedAligned != base.CorrectedAligned ||
+			rep.WindowedAligned != base.WindowedAligned ||
+			rep.DerivedCorrectedAligned != base.DerivedCorrectedAligned {
+			t.Errorf("batch=%d: aligned errors diverged from batch=1", batch)
+		}
+		for id := range base.Stream.Corrected {
+			for ti := range base.Stream.Corrected[id] {
+				if rep.Stream.Corrected[id][ti] != base.Stream.Corrected[id][ti] {
+					t.Fatalf("batch=%d: corrected[%d][%d] diverged", batch, id, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionCovarianceTightensCoupledStd: WithCovariance must change only
+// the derived stds whose inputs share an invariant — and on the
+// sum-coupled Branch_Misp_Rate it must not increase the reported batch
+// std, while every mean stays put.
+func TestSessionCovarianceTightensCoupledStd(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(60)
+	mux := bayesperf.DefaultMuxConfig()
+	run := func(cov bool) *bayesperf.Report {
+		sess, err := bayesperf.New(
+			bayesperf.WithCatalog(cat),
+			bayesperf.WithMux(mux),
+			bayesperf.WithCovariance(cov),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	diag := run(false)
+	cov := run(true)
+	changed := false
+	for i := range diag.Derived {
+		if cov.Derived[i].Mean != diag.Derived[i].Mean {
+			t.Errorf("%s: covariance mode changed the posterior mean", diag.Derived[i].Name)
+		}
+		if cov.Derived[i].Std != diag.Derived[i].Std {
+			changed = true
+		}
+		if cov.Derived[i].Std <= 0 {
+			t.Errorf("%s: covariance-aware std %v, want > 0", cov.Derived[i].Name, cov.Derived[i].Std)
+		}
+		if diag.Derived[i].Name == "IPC" && cov.Derived[i].Std != diag.Derived[i].Std {
+			t.Errorf("IPC inputs share no invariant on Skylake; std must not change")
+		}
+		// branch_breakdown couples misp positively with branches (the
+		// sum), so the ratio's covariance-aware std must come in at or
+		// below the diagonal — a sign flip in the plumbing would widen it.
+		if diag.Derived[i].Name == "Branch_Misp_Rate" && cov.Derived[i].Std >= diag.Derived[i].Std {
+			t.Errorf("Branch_Misp_Rate covariance-aware std %v not below diagonal %v",
+				cov.Derived[i].Std, diag.Derived[i].Std)
+		}
+	}
+	if !changed {
+		t.Error("covariance mode changed no derived std at all")
+	}
+}
+
+// TestWithBatchRejectsNegative: the option surface validates its input.
+func TestWithBatchRejectsNegative(t *testing.T) {
+	if _, err := bayesperf.New(bayesperf.WithBatch(-1)); err == nil {
+		t.Error("WithBatch(-1) accepted")
+	}
+}
+
 // TestSamplerIsASource: a bare measure.Sampler is the second shipped Source
 // implementation; streaming it through a Session produces exactly the
 // SimSource run (same trace, same seed, same scheduler).

@@ -165,7 +165,14 @@ func (s *Session) batchReport(cat *Catalog, src Source, est []measure.Sample,
 
 	for i := range cat.Derived {
 		d := &cat.Derived[i]
-		mean, std := post.DerivedPosterior(d)
+		// WithCovariance: feed the delta method the clique posterior
+		// covariances instead of treating the inputs as independent.
+		var mean, std float64
+		if s.cfg.Covariance {
+			mean, std = post.DerivedPosteriorCov(d)
+		} else {
+			mean, std = post.DerivedPosterior(d)
+		}
 		dr := DerivedReport{
 			Name: d.Name,
 			Mean: mean,
