@@ -35,12 +35,13 @@ import (
 // catalog through the Session API; it is the unit under test for the
 // end-to-end acceptance check.
 func runCatalog(cat *uarch.Catalog, wl measure.Workload, mux measure.MuxConfig,
-	seed uint64, maxIter int, tol float64) (*bayesperf.Report, error) {
+	seed uint64, maxIter int, tol float64, fast bool) (*bayesperf.Report, error) {
 
 	sess, err := bayesperf.New(
 		bayesperf.WithCatalog(cat),
 		bayesperf.WithMux(mux),
 		bayesperf.WithInference(maxIter, tol),
+		bayesperf.WithFastMath(fast),
 	)
 	if err != nil {
 		return nil, err
@@ -50,8 +51,8 @@ func runCatalog(cat *uarch.Catalog, wl measure.Workload, mux measure.MuxConfig,
 
 func printReport(rep *bayesperf.Report, quiet, derived bool) {
 	fmt.Printf("=== %s ===\n", rep.Arch)
-	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v)\n",
-		rep.Groups, rep.Iters, rep.Converged)
+	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v) kernel=%s\n",
+		rep.Groups, rep.Iters, rep.Converged, kernelName(rep.FastMath))
 	if !quiet {
 		fmt.Printf("%-42s %5s %9s %12s %12s\n", "event", "kind", "coverage", "raw err", "corrected")
 		for _, e := range rep.Events {
@@ -101,7 +102,7 @@ const derivedSeeds = 11
 // comparing seeds so a base seed near the top of the uint64 range still
 // yields a full ensemble (individual member seeds wrapping is harmless).
 func derivedEnsemble(base *bayesperf.Report, cat *uarch.Catalog, wl measure.Workload,
-	mux measure.MuxConfig, seed uint64, maxIter int, tol float64) (raw, corr float64, err error) {
+	mux measure.MuxConfig, seed uint64, maxIter int, tol float64, fast bool) (raw, corr float64, err error) {
 
 	var dRaw, dCorr stats.Running
 	pool := func(rows []bayesperf.DerivedReport) {
@@ -112,7 +113,7 @@ func derivedEnsemble(base *bayesperf.Report, cat *uarch.Catalog, wl measure.Work
 	}
 	pool(base.Derived)
 	for i := 1; i < derivedSeeds; i++ {
-		rep, rerr := runCatalog(cat, wl, mux, seed+uint64(i), maxIter, tol)
+		rep, rerr := runCatalog(cat, wl, mux, seed+uint64(i), maxIter, tol, fast)
 		if rerr != nil {
 			return 0, 0, rerr
 		}
@@ -150,7 +151,7 @@ func main() {
 
 	ok := true
 	for _, cat := range cats {
-		rep, err := runCatalog(cat, wl, mux, *sf.seed, maxIter, tol)
+		rep, err := runCatalog(cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast)
 		if err != nil {
 			fatal("bayesperf", 1, err)
 		}
@@ -159,7 +160,7 @@ func main() {
 			ok = false
 		}
 		if *sf.derived {
-			dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, mux, *sf.seed, maxIter, tol)
+			dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast)
 			if err != nil {
 				fatal("bayesperf", 1, err)
 			}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: bayesperf/internal/graph
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInferBatch/B=64/exact-4         	     200	    290101 ns/op	      4533 ns/window	     867 B/op	       0 allocs/op
+BenchmarkInferBatch/B=64/fast-4          	     200	     93080 ns/op	      1454 ns/window	     967 B/op	       0 allocs/op
+BenchmarkInfer-4   	   10000	     12696 ns/op	    1941 B/op	       9 allocs/op
+PASS
+ok  	bayesperf/internal/graph	0.098s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, cpu, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	// Sub-benchmark keeps its path, loses Benchmark prefix and -GOMAXPROCS;
+	// the ns/window metric wins over ns/op when present.
+	e, ok := benches["InferBatch/B=64/fast"]
+	if !ok {
+		t.Fatalf("fast entry missing; parsed %v", benches)
+	}
+	if e.NsPerWindow != 1454 || e.AllocsPerOp != 0 {
+		t.Errorf("fast entry = %+v, want ns/window 1454 allocs 0", e)
+	}
+	// A benchmark without the custom metric falls back to ns/op.
+	if e := benches["Infer"]; e.NsPerWindow != 12696 || e.AllocsPerOp != 9 {
+		t.Errorf("Infer entry = %+v, want ns/op 12696 allocs 9", e)
+	}
+	if len(benches) != 3 {
+		t.Errorf("parsed %d entries, want 3: %v", len(benches), benches)
+	}
+}
+
+func TestCheckAgainst(t *testing.T) {
+	base := map[string]entry{
+		"a": {NsPerWindow: 1000, AllocsPerOp: 0},
+		"b": {NsPerWindow: 2000, AllocsPerOp: 9},
+		"c": {NsPerWindow: 500, AllocsPerOp: 0},
+	}
+	cur := map[string]entry{
+		"a": {NsPerWindow: 1400, AllocsPerOp: 1},  // within 1.5× and alloc slack
+		"b": {NsPerWindow: 3100, AllocsPerOp: 40}, // both gates blown
+		"d": {NsPerWindow: 100},                   // new, not in baseline
+	}
+	regs, missing, fresh := checkAgainst(base, cur, 1.5, 2, 2)
+	if len(regs) != 2 || regs[0].name != "b" || regs[1].name != "b" {
+		t.Fatalf("regressions = %+v, want ns/window and allocs/op for b", regs)
+	}
+	if len(missing) != 1 || missing[0] != "c" {
+		t.Errorf("missing = %v, want [c]", missing)
+	}
+	if len(fresh) != 1 || fresh[0] != "d" {
+		t.Errorf("fresh = %v, want [d]", fresh)
+	}
+	// A clean run reports nothing.
+	regs, missing, _ = checkAgainst(base, map[string]entry{
+		"a": {NsPerWindow: 900}, "b": {NsPerWindow: 2000, AllocsPerOp: 9}, "c": {NsPerWindow: 700},
+	}, 1.5, 2, 2)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Errorf("clean run flagged: regs %+v missing %v", regs, missing)
+	}
+}

@@ -21,6 +21,7 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 
 	"bayesperf/internal/uarch"
@@ -34,7 +35,7 @@ func (b *Batch) extractCovariances(res *BatchResult) {
 	if !b.needCov || p.nCov == 0 {
 		return
 	}
-	n, B := res.n, b.lanes
+	n, B := res.n, b.stride
 	// covD and covCD are per-(term,lane) scratch for the current relation
 	// — cavity variance and coeff·variance — allocated once per Batch.
 	if maxK := p.maxCliqueSize(); len(b.covD) < maxK*b.lanes {
@@ -105,6 +106,25 @@ func (r *Result) Cov(i, j uarch.EventID) float64 {
 	return r.cov[r.plan.covOff[loc.rel]+loc.a*k+loc.b]
 }
 
+// corrOf normalizes one clique covariance entry against its diagonal into
+// a ±1-clamped correlation, guarding degenerate variances.
+func corrOf(cab, caa, cbb float64) float64 {
+	den := math.Sqrt(caa * cbb)
+	if den <= 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return 0
+	}
+	rho := cab / den
+	if rho > 1 {
+		rho = 1
+	} else if rho < -1 {
+		rho = -1
+	}
+	if math.IsNaN(rho) {
+		return 0
+	}
+	return rho
+}
+
 // Corr returns the posterior correlation of two events, computed within
 // their shared clique's covariance block (so it is ±1-bounded by
 // construction) and clamped against floating-point spill. Pairs sharing no
@@ -122,23 +142,32 @@ func (r *Result) Corr(i, j uarch.EventID) float64 {
 	}
 	base := r.plan.covOff[loc.rel]
 	k := r.plan.factorOff[loc.rel+1] - r.plan.factorOff[loc.rel]
-	cab := r.cov[base+loc.a*k+loc.b]
-	caa := r.cov[base+loc.a*k+loc.a]
-	cbb := r.cov[base+loc.b*k+loc.b]
-	den := math.Sqrt(caa * cbb)
-	if den <= 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+	return corrOf(r.cov[base+loc.a*k+loc.b], r.cov[base+loc.a*k+loc.a], r.cov[base+loc.b*k+loc.b])
+}
+
+// Corr returns one lane's posterior correlation of two events, read
+// directly from the batch result's lane-strided covariance slab — the
+// allocation-free counterpart of Window(lane).Corr for consumers that only
+// need a few pairs per lane (the streaming engine's tracked-pair
+// extraction). Semantics match Result.Corr.
+func (r *BatchResult) Corr(lane int, i, j uarch.EventID) float64 {
+	if lane < 0 || lane >= r.n {
+		panic(fmt.Sprintf("graph: Corr on lane %d of a %d-window result", lane, r.n))
+	}
+	if i == j {
+		return 1
+	}
+	if r.cov == nil {
 		return 0
 	}
-	rho := cab / den
-	if rho > 1 {
-		rho = 1
-	} else if rho < -1 {
-		rho = -1
-	}
-	if math.IsNaN(rho) {
+	loc, ok := r.plan.pairLoc[pairKey(i, j)]
+	if !ok {
 		return 0
 	}
-	return rho
+	base := r.plan.covOff[loc.rel]
+	k := r.plan.factorOff[loc.rel+1] - r.plan.factorOff[loc.rel]
+	at := func(e int) float64 { return r.cov[(base+e)*r.n+lane] }
+	return corrOf(at(loc.a*k+loc.b), at(loc.a*k+loc.a), at(loc.b*k+loc.b))
 }
 
 // DerivedPosteriorCov propagates the posterior through a derived-event

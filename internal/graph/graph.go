@@ -35,10 +35,14 @@ type natural struct {
 func (n natural) add(o natural) natural { return natural{n.prec + o.prec, n.h + o.h} }
 func (n natural) sub(o natural) natural { return natural{n.prec - o.prec, n.h - o.h} }
 
+// minPrec is the vanishing-precision floor: messages and beliefs with
+// precision below it behave as flat (mean 0, variance 1/minPrec). Both
+// kernels share it so their guard semantics cannot drift.
+const minPrec = 1e-12
+
 // moments converts to (mean, variance), guarding against vanishing
 // precision: messages with precision below minPrec behave as flat.
 func (n natural) moments() (mean, variance float64) {
-	const minPrec = 1e-12
 	if n.prec < minPrec {
 		return 0, 1 / minPrec
 	}
@@ -80,6 +84,12 @@ func Build(cat *uarch.Catalog) *Graph {
 
 // Catalog returns the catalog the graph was built over.
 func (g *Graph) Catalog() *uarch.Catalog { return g.batch.plan.cat }
+
+// SetFastMath opts this graph's Infer into the fused-cavity fast schedule
+// (see Batch.FastMath): posteriors then agree with the exact kernel only to
+// a tight relative tolerance instead of bit for bit. Off by default; the
+// exact kernel remains the golden oracle.
+func (g *Graph) SetFastMath(on bool) { g.batch.FastMath = on }
 
 // Observe attaches (or replaces) the measurement factor for an event:
 // the event's value is measured as N(mean, std²). For multiplexed counters

@@ -131,13 +131,26 @@ func (p *Plan) SharesClique(i, j uarch.EventID) bool {
 
 // Batch holds the observations and message-passing state of up to `lanes`
 // independent inference windows over one Plan, in structure-of-arrays
-// layout: quantity q of lane b lives at q*lanes+b, so the per-schedule-step
-// inner loops run over contiguous float64 runs. A Batch is reusable
-// (ClearObservations between rounds) and, like the legacy Graph, not safe
-// for concurrent use.
+// layout: quantity q of lane b lives at q*stride+b, so the per-schedule-step
+// inner loops run over contiguous float64 runs. The row stride is the lane
+// count rounded up to a multiple of four, so the vectorized fast kernel can
+// always process whole 4-lane groups without crossing into the next row;
+// the padding lanes hold zeroes and are never read back. A Batch is
+// reusable (ClearObservations between rounds) and, like the legacy Graph,
+// not safe for concurrent use.
 type Batch struct {
 	plan  *Plan
 	lanes int
+	// stride is the slab row stride: lanes rounded up to a multiple of 4.
+	stride int
+	// FastMath opts Execute into the fused-cavity fast schedule (fast.go):
+	// O(k) per-relation gathers instead of the exact kernel's O(k²) sibling
+	// loops, inverse variances computed once per edge, and a multiply-add
+	// update loop. The fast kernel's posteriors agree with the exact
+	// kernel's only to a tight relative tolerance (not bit for bit), pinned
+	// by TestFastMathAccuracyDelta; leave it off wherever bit-exactness
+	// against the legacy oracle matters.
+	FastMath bool
 	// needCov gates clique-covariance extraction (EnableCovariance):
 	// consumers that never read Cov/Corr — the default stream
 	// configuration — skip the extraction flops and the per-result
@@ -145,6 +158,20 @@ type Batch struct {
 	needCov bool
 	// Extraction scratch (extractCovariances), sized on first use.
 	covD, covCD []float64
+	// Fast-schedule scratch (sweepFast), sized on first use: per-relation
+	// edge descriptors, weighted cavity contributions, and suffix sums
+	// (maxCliqueSize each, reused across lanes and sweeps) plus the previous
+	// sweep's belief naturals backing the divide-free convergence test
+	// (nv·stride).
+	fastWM, fastWV, fastSM, fastSV, fastC []float64
+	fastRow, fastMsg                      []int
+	prevP, prevH                          []float64
+	// Vector-kernel state (amd64 AVX2 path, fast_amd64.s): per-lane
+	// active-lane masks as float64 bit patterns (all-ones = active, zero =
+	// frozen or padding) and per-edge byte offsets of each edge's variable
+	// row in the belief slabs.
+	activeMask []float64
+	rowOff     []int64
 
 	obsMean  []float64 // nv*lanes
 	obsStd   []float64
@@ -175,25 +202,27 @@ func (p *Plan) NewBatch(lanes int) *Batch {
 		panic(fmt.Sprintf("graph: NewBatch with %d lanes", lanes))
 	}
 	nv, ne, nr := p.nv, p.nEdges, p.nRels
+	stride := (lanes + 3) &^ 3
 	return &Batch{
 		plan:       p,
 		lanes:      lanes,
-		obsMean:    make([]float64, nv*lanes),
-		obsStd:     make([]float64, nv*lanes),
-		observed:   make([]bool, nv*lanes),
+		stride:     stride,
+		obsMean:    make([]float64, nv*stride),
+		obsStd:     make([]float64, nv*stride),
+		observed:   make([]bool, nv*stride),
 		scale:      make([]float64, lanes),
-		scaled:     make([]float64, nv*lanes),
-		unaryPrec:  make([]float64, nv*lanes),
-		unaryH:     make([]float64, nv*lanes),
-		beliefPrec: make([]float64, nv*lanes),
-		beliefH:    make([]float64, nv*lanes),
-		means:      make([]float64, nv*lanes),
-		msgPrec:    make([]float64, ne*lanes),
-		msgH:       make([]float64, ne*lanes),
-		relVar:     make([]float64, nr*lanes),
-		muJ:        make([]float64, lanes),
-		varJ:       make([]float64, lanes),
-		maxDelta:   make([]float64, lanes),
+		scaled:     make([]float64, nv*stride),
+		unaryPrec:  make([]float64, nv*stride),
+		unaryH:     make([]float64, nv*stride),
+		beliefPrec: make([]float64, nv*stride),
+		beliefH:    make([]float64, nv*stride),
+		means:      make([]float64, nv*stride),
+		msgPrec:    make([]float64, ne*stride),
+		msgH:       make([]float64, ne*stride),
+		relVar:     make([]float64, nr*stride),
+		muJ:        make([]float64, stride),
+		varJ:       make([]float64, stride),
+		maxDelta:   make([]float64, stride),
 		active:     make([]bool, lanes),
 		iters:      make([]int, lanes),
 		converged:  make([]bool, lanes),
@@ -227,7 +256,7 @@ func (b *Batch) Observe(lane int, id uarch.EventID, mean, std float64) {
 		panic(fmt.Sprintf("graph: Observe(%s) with invalid mean=%v std=%v",
 			b.plan.cat.Event(id).Name, mean, std))
 	}
-	at := int(id)*b.lanes + lane
+	at := int(id)*b.stride + lane
 	b.obsMean[at] = mean
 	b.obsStd[at] = std
 	b.observed[at] = true
@@ -287,11 +316,21 @@ func (r *BatchResult) Window(lane int) Result {
 // criterion as Graph.Infer, so lane posteriors do not depend on n or on
 // which other windows share the batch.
 func (b *Batch) Execute(n, maxIter int, tol float64) *BatchResult {
+	return b.ExecuteInto(nil, n, maxIter, tol)
+}
+
+// ExecuteInto is Execute writing its output into res's slabs, reallocating
+// only when a capacity is short — the steady state of a long-lived caller
+// (the streaming workers) allocates nothing here. A nil res allocates a
+// fresh result. The returned value is res (or the fresh result) and is
+// only valid until the next ExecuteInto call that reuses it; callers that
+// retain a lane's posterior copy it out first (Window does).
+func (b *Batch) ExecuteInto(res *BatchResult, n, maxIter int, tol float64) *BatchResult {
 	if n < 1 || n > b.lanes {
 		panic(fmt.Sprintf("graph: Execute of %d lanes on a %d-lane batch", n, b.lanes))
 	}
 	p := b.plan
-	nv, B := p.nv, b.lanes
+	nv, B := p.nv, b.stride
 
 	// Per-lane problem scale, from the lane's observed magnitudes.
 	scale := b.scale
@@ -368,20 +407,38 @@ func (b *Batch) Execute(n, maxIter int, tol float64) *BatchResult {
 	}
 	copy(b.beliefPrec, b.unaryPrec)
 	copy(b.beliefH, b.unaryH)
+
+	active := b.active[:n]
+	for lane := range active {
+		active[lane] = true
+		b.converged[lane] = false
+		b.iters[lane] = maxIter
+	}
+
+	if b.FastMath {
+		b.sweepFast(n, maxIter, tol)
+	} else {
+		b.sweepExact(n, maxIter, tol)
+	}
+
+	return b.resultInto(res, n)
+}
+
+// sweepExact runs the exact message schedule: the legacy per-window loop,
+// operation for operation, vectorized only across lanes. It is the golden
+// oracle the fast schedule is measured against and stays bit-identical to
+// the frozen reference implementation (reference_test.go).
+func (b *Batch) sweepExact(n, maxIter int, tol float64) {
+	p := b.plan
+	nv, B := p.nv, b.stride
+	active := b.active[:n]
+	remaining := n
 	for i := 0; i < nv; i++ {
 		row := i * B
 		for lane := 0; lane < n; lane++ {
 			m, _ := natural{prec: b.beliefPrec[row+lane], h: b.beliefH[row+lane]}.moments()
 			b.means[row+lane] = m
 		}
-	}
-
-	active := b.active[:n]
-	remaining := n
-	for lane := range active {
-		active[lane] = true
-		b.converged[lane] = false
-		b.iters[lane] = maxIter
 	}
 
 	muJ := b.muJ[:n]
@@ -468,20 +525,39 @@ func (b *Batch) Execute(n, maxIter int, tol float64) *BatchResult {
 			}
 		}
 	}
+}
 
-	res := &BatchResult{
-		plan:      p,
-		n:         n,
-		Mean:      make([]float64, nv*n),
-		Std:       make([]float64, nv*n),
-		Iters:     make([]int, n),
-		Converged: make([]bool, n),
+// sized reslices s to n, reallocating only when capacity is short — the
+// slab-reuse primitive behind ExecuteInto.
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
+	return s[:n]
+}
+
+// resultInto reads the converged beliefs out of the batch into res,
+// reusing its slabs where the capacities allow.
+func (b *Batch) resultInto(res *BatchResult, n int) *BatchResult {
+	p := b.plan
+	nv, B := p.nv, b.stride
+	if res == nil {
+		res = &BatchResult{}
+	}
+	res.plan = p
+	res.n = n
+	res.Mean = sized(res.Mean, nv*n)
+	res.Std = sized(res.Std, nv*n)
+	res.Iters = sized(res.Iters, n)
+	res.Converged = sized(res.Converged, n)
 	if b.needCov {
-		res.cov = make([]float64, p.nCov*n)
+		res.cov = sized(res.cov, p.nCov*n)
+	} else {
+		res.cov = nil
 	}
 	copy(res.Iters, b.iters[:n])
 	copy(res.Converged, b.converged[:n])
+	scale := b.scale
 	for i := 0; i < nv; i++ {
 		bp := b.beliefPrec[i*B : i*B+n]
 		bh := b.beliefH[i*B : i*B+n]

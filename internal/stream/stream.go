@@ -49,6 +49,12 @@ type Config struct {
 	// window's per-relation posterior correlations are stitched alongside
 	// the marginals and enter the delta method's cross terms.
 	Covariance bool
+	// FastMath switches every worker's batch to the fused fast-math message
+	// schedule (graph.Batch.FastMath): posteriors agree with the exact
+	// kernel to a tight relative tolerance instead of bit for bit, and the
+	// output remains deterministic across worker counts and batch sizes.
+	// Composes with Covariance.
+	FastMath bool
 	// MaxIter and Tol are passed to graph.Infer per window.
 	MaxIter int
 	Tol     float64
@@ -353,10 +359,12 @@ func (e *Engine) buildCovPairs() {
 func (e *Engine) worker(wi int) {
 	defer e.wg.Done()
 	batch := e.plan.NewBatch(e.cfg.Batch)
+	batch.FastMath = e.cfg.FastMath
 	if len(e.covPairs) > 0 {
 		batch.EnableCovariance()
 	}
 	var iters stats.Running
+	var br *graph.BatchResult // reused across batches; Window copies lanes out
 	for jobs := range e.jobs {
 		batch.ClearObservations()
 		for lane, job := range jobs {
@@ -366,7 +374,7 @@ func (e *Engine) worker(wi int) {
 				}
 			}
 		}
-		br := batch.Execute(len(jobs), e.cfg.MaxIter, e.cfg.Tol)
+		br = batch.ExecuteInto(br, len(jobs), e.cfg.MaxIter, e.cfg.Tol)
 		for lane, job := range jobs {
 			res := br.Window(lane)
 			iters.Add(float64(res.Iters))

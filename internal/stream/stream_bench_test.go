@@ -42,29 +42,33 @@ func BenchmarkStreamWindow(b *testing.B) {
 
 // BenchmarkStreamBatched tracks what window batching buys the streaming
 // engine end to end: the same trace and worker pool at batch widths 1, 8
-// and 32, with per-window cost emitted as ns/window so the trajectory is
-// comparable across PRs and against BenchmarkInferBatch's inference-only
-// number.
+// and 32 under both inference kernels, with per-window cost emitted as
+// ns/window so the trajectory is comparable across PRs and against
+// BenchmarkInferBatch's inference-only number. cmd/benchjson snapshots it
+// into BENCH_stream.json and CI gates regressions against that baseline.
 func BenchmarkStreamBatched(b *testing.B) {
 	tr := benchTrace()
 	for _, batch := range []int{1, 8, 32} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			cfg := DefaultConfig()
-			cfg.Workers = 2
-			cfg.Batch = batch
-			windows := 0
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res := RunTrace(tr, measure.NewRoundRobin(tr.Cat), cfg, rng.New(2))
-				if !res.AllConverged {
-					b.Fatal("window inference did not converge")
+		for _, kernel := range []string{"exact", "fast"} {
+			b.Run(fmt.Sprintf("batch=%d/%s", batch, kernel), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Workers = 2
+				cfg.Batch = batch
+				cfg.FastMath = kernel == "fast"
+				windows := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := RunTrace(tr, measure.NewRoundRobin(tr.Cat), cfg, rng.New(2))
+					if !res.AllConverged {
+						b.Fatal("window inference did not converge")
+					}
+					windows = res.Windows
 				}
-				windows = res.Windows
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
-		})
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
+			})
+		}
 	}
 }
 

@@ -65,7 +65,8 @@ type DerivedStreamReport struct {
 type Report struct {
 	Arch      string
 	Intervals int
-	Groups    int // multiplexing groups of the source's scheduler (0 if unknown)
+	Groups    int  // multiplexing groups of the source's scheduler (0 if unknown)
+	FastMath  bool // inference ran the fast-math kernel (WithFastMath)
 	HasTruth  bool
 
 	// Batch: whole-run totals after one inference pass.
@@ -127,6 +128,7 @@ func (s *Session) batchReport(cat *Catalog, src Source, est []measure.Sample,
 		Arch:      cat.Arch,
 		Intervals: intervals,
 		Groups:    groupCount(src),
+		FastMath:  s.cfg.FastMath,
 		Iters:     post.Iters,
 		Converged: post.Converged,
 	}
@@ -198,6 +200,7 @@ func (s *Session) streamReport(cat *Catalog, src Source, sched Scheduler,
 		Arch:       cat.Arch,
 		Intervals:  res.Intervals,
 		Groups:     groupCount(src),
+		FastMath:   s.cfg.FastMath,
 		Windows:    res.Windows,
 		Duration:   dur,
 		Converged:  res.AllConverged,
