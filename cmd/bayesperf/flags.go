@@ -25,6 +25,9 @@ type sharedFlags struct {
 	fast      *bool
 	derived   *bool
 	quiet     *bool
+
+	metrics     *string
+	metricsAddr *string
 }
 
 // addSharedFlags registers the shared flag set on fs. defaultIntervals
@@ -42,6 +45,9 @@ func addSharedFlags(fs *flag.FlagSet, defaultIntervals int) *sharedFlags {
 		fast:      fs.Bool("fast", false, "fast-math inference kernel (O(k) fused cavities + AVX2 where available; posteriors match the exact kernel to a tight tolerance, not bit for bit)"),
 		derived:   fs.Bool("derived", false, "evaluate derived events (IPC, MPKI, …) with propagated posterior stds and gate on their improvement"),
 		quiet:     fs.Bool("q", false, "only print per-catalog summary lines"),
+
+		metrics:     fs.String("metrics", "", "write a pipeline metrics snapshot at exit ('-' = stdout; Prometheus text, or JSON with a .json suffix)"),
+		metricsAddr: fs.String("metrics-addr", "", "serve live pipeline metrics over HTTP (e.g. :9090; GET /metrics and /metrics.json)"),
 	}
 }
 

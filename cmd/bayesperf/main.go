@@ -35,13 +35,15 @@ import (
 // catalog through the Session API; it is the unit under test for the
 // end-to-end acceptance check.
 func runCatalog(cat *uarch.Catalog, wl measure.Workload, mux measure.MuxConfig,
-	seed uint64, maxIter int, tol float64, fast bool) (*bayesperf.Report, error) {
+	seed uint64, maxIter int, tol float64, fast bool,
+	reg *bayesperf.MetricsRegistry) (*bayesperf.Report, error) {
 
 	sess, err := bayesperf.New(
 		bayesperf.WithCatalog(cat),
 		bayesperf.WithMux(mux),
 		bayesperf.WithInference(maxIter, tol),
 		bayesperf.WithFastMath(fast),
+		bayesperf.WithMetrics(reg),
 	)
 	if err != nil {
 		return nil, err
@@ -51,8 +53,9 @@ func runCatalog(cat *uarch.Catalog, wl measure.Workload, mux measure.MuxConfig,
 
 func printReport(rep *bayesperf.Report, quiet, derived bool) {
 	fmt.Printf("=== %s ===\n", rep.Arch)
-	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v) kernel=%s\n",
-		rep.Groups, rep.Iters, rep.Converged, kernelName(rep.FastMath))
+	fmt.Printf("multiplex groups: %d   inference: %d iters (converged=%v) kernel=%s sweeps=%d unconverged=%d\n",
+		rep.Groups, rep.Iters, rep.Converged, kernelName(rep.FastMath),
+		rep.TotalSweeps, rep.UnconvergedWindows)
 	if !quiet {
 		fmt.Printf("%-42s %5s %9s %12s %12s\n", "event", "kind", "coverage", "raw err", "corrected")
 		for _, e := range rep.Events {
@@ -102,7 +105,8 @@ const derivedSeeds = 11
 // comparing seeds so a base seed near the top of the uint64 range still
 // yields a full ensemble (individual member seeds wrapping is harmless).
 func derivedEnsemble(base *bayesperf.Report, cat *uarch.Catalog, wl measure.Workload,
-	mux measure.MuxConfig, seed uint64, maxIter int, tol float64, fast bool) (raw, corr float64, err error) {
+	mux measure.MuxConfig, seed uint64, maxIter int, tol float64, fast bool,
+	reg *bayesperf.MetricsRegistry) (raw, corr float64, err error) {
 
 	var dRaw, dCorr stats.Running
 	pool := func(rows []bayesperf.DerivedReport) {
@@ -113,7 +117,7 @@ func derivedEnsemble(base *bayesperf.Report, cat *uarch.Catalog, wl measure.Work
 	}
 	pool(base.Derived)
 	for i := 1; i < derivedSeeds; i++ {
-		rep, rerr := runCatalog(cat, wl, mux, seed+uint64(i), maxIter, tol, fast)
+		rep, rerr := runCatalog(cat, wl, mux, seed+uint64(i), maxIter, tol, fast, reg)
 		if rerr != nil {
 			return 0, 0, rerr
 		}
@@ -145,13 +149,17 @@ func main() {
 	if err != nil {
 		fatal("bayesperf", 2, err)
 	}
+	sink, err := newMetricsSink(*sf.metrics, *sf.metricsAddr)
+	if err != nil {
+		fatal("bayesperf", 2, err)
+	}
 	wl := measure.DefaultWorkload(*sf.intervals)
 	mux := sf.muxConfig(false, 0)
 	maxIter, tol := sf.inference()
 
 	ok := true
 	for _, cat := range cats {
-		rep, err := runCatalog(cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast)
+		rep, err := runCatalog(cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast, sink.Registry())
 		if err != nil {
 			fatal("bayesperf", 1, err)
 		}
@@ -160,7 +168,7 @@ func main() {
 			ok = false
 		}
 		if *sf.derived {
-			dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast)
+			dRaw, dCorr, err := derivedEnsemble(rep, cat, wl, mux, *sf.seed, maxIter, tol, *sf.fast, sink.Registry())
 			if err != nil {
 				fatal("bayesperf", 1, err)
 			}
@@ -172,6 +180,11 @@ func main() {
 			fmt.Printf("derived mean relative error over %d seeds: raw %.3f%% → corrected %.3f%%  [%s]\n\n",
 				derivedSeeds, 100*dRaw, 100*dCorr, dVerdict)
 		}
+	}
+	// Snapshot before the exit gate so a NOT IMPROVED run still reports its
+	// pipeline metrics.
+	if err := sink.Flush(); err != nil {
+		fatal("bayesperf", 1, err)
 	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "bayesperf: correction did not improve on raw multiplexing")

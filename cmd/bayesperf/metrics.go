@@ -1,0 +1,80 @@
+// CLI observability surface: the -metrics/-metrics-addr flags shared by
+// the run and stream subcommands. One registry serves the whole invocation
+// (every catalog, every session), snapshotted to a file at exit and/or
+// served live over stdlib net/http while the pipeline runs.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"bayesperf/pkg/bayesperf"
+)
+
+// metricsSink owns the CLI's metrics registry and its two outputs. The
+// zero-config sink (no flags given) carries a nil registry, which disables
+// instrumentation end to end.
+type metricsSink struct {
+	reg  *bayesperf.MetricsRegistry
+	path string // -metrics destination: "" = off, "-" = stdout, else a file
+}
+
+// newMetricsSink builds the sink from the -metrics/-metrics-addr flags.
+// The listener is bound synchronously so a bad address fails the run up
+// front; serving then proceeds in the background for the process lifetime
+// (GET /metrics = Prometheus text, GET /metrics.json = JSON snapshot).
+func newMetricsSink(path, addr string) (*metricsSink, error) {
+	s := &metricsSink{path: path}
+	if path == "" && addr == "" {
+		return s, nil
+	}
+	s.reg = bayesperf.NewMetricsRegistry()
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-addr %s: %w", addr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = s.reg.WriteJSON(w)
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+	return s, nil
+}
+
+// Registry returns the registry to thread into sessions (nil when metrics
+// are off — WithMetrics(nil) keeps the pipeline uninstrumented).
+func (s *metricsSink) Registry() *bayesperf.MetricsRegistry { return s.reg }
+
+// Flush writes the exit snapshot configured by -metrics: Prometheus text by
+// default, JSON when the destination ends in .json, stdout for "-".
+func (s *metricsSink) Flush() error {
+	if s.path == "" {
+		return nil
+	}
+	if s.path == "-" {
+		return s.reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(s.path, ".json") {
+		err = s.reg.WriteJSON(f)
+	} else {
+		err = s.reg.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

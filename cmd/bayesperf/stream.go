@@ -49,6 +49,11 @@ type streamReport struct {
 	AdConverged  bool
 	AllConverged bool
 
+	// Inference effort of the round-robin run (the one the config line
+	// describes): windows that exhausted the sweep budget, and total sweeps.
+	Unconverged int
+	TotalSweeps int
+
 	// Derived-event streaming (§6.2): DTW-aligned error of each derived
 	// series for the three estimators, plus per-interval posterior stds.
 	DerivedRows             []bayesperf.DerivedStreamReport
@@ -60,9 +65,10 @@ type streamReport struct {
 // streamSession builds the Session for one scheduling policy from the
 // resolved stream config.
 func streamSession(cat *uarch.Catalog, cfg stream.Config, kind bayesperf.SchedulerKind,
-	derived bool) (*bayesperf.Session, error) {
+	derived bool, reg *bayesperf.MetricsRegistry) (*bayesperf.Session, error) {
 
 	return bayesperf.New(
+		bayesperf.WithMetrics(reg),
 		bayesperf.WithCatalog(cat),
 		bayesperf.WithMux(cfg.Mux),
 		bayesperf.WithWindow(cfg.Window),
@@ -81,13 +87,13 @@ func streamSession(cat *uarch.Catalog, cfg stream.Config, kind bayesperf.Schedul
 // policies (the same simulated stream, forked) and cross-checks against the
 // batch pipeline run with the same inference budget.
 func runStreamCatalog(cat *uarch.Catalog, wl measure.Workload, cfg stream.Config,
-	seed uint64, derived bool) (streamReport, error) {
+	seed uint64, derived bool, reg *bayesperf.MetricsRegistry) (streamReport, error) {
 
 	var rep streamReport
 	srcRR := bayesperf.NewSimSource(cat, wl, cfg.Mux, seed)
 	srcAd := srcRR.Fork()
 
-	rrSess, err := streamSession(cat, cfg, bayesperf.RoundRobin, derived)
+	rrSess, err := streamSession(cat, cfg, bayesperf.RoundRobin, derived, reg)
 	if err != nil {
 		return rep, err
 	}
@@ -95,7 +101,7 @@ func runStreamCatalog(cat *uarch.Catalog, wl measure.Workload, cfg stream.Config
 	if err != nil {
 		return rep, err
 	}
-	adSess, err := streamSession(cat, cfg, bayesperf.Adaptive, false)
+	adSess, err := streamSession(cat, cfg, bayesperf.Adaptive, false, reg)
 	if err != nil {
 		return rep, err
 	}
@@ -119,6 +125,8 @@ func runStreamCatalog(cat *uarch.Catalog, wl measure.Workload, cfg stream.Config
 		RRConverged:      rr.Converged,
 		AdConverged:      ad.Converged,
 		AllConverged:     rr.Converged && ad.Converged,
+		Unconverged:      rr.UnconvergedWindows,
+		TotalSweeps:      rr.TotalSweeps,
 
 		DerivedRows:             rr.DerivedStream,
 		DerivedNaiveAligned:     rr.DerivedNaiveAligned,
@@ -127,7 +135,7 @@ func runStreamCatalog(cat *uarch.Catalog, wl measure.Workload, cfg stream.Config
 	}
 
 	// Batch cross-check: the whole-run pipeline on the same trace.
-	batch, err := runCatalog(cat, wl, cfg.Mux, seed, cfg.MaxIter, cfg.Tol, cfg.FastMath)
+	batch, err := runCatalog(cat, wl, cfg.Mux, seed, cfg.MaxIter, cfg.Tol, cfg.FastMath, reg)
 	if err != nil {
 		return rep, err
 	}
@@ -140,9 +148,10 @@ func printStreamReport(rep streamReport, cfg stream.Config, quiet, derived bool)
 	// Windows/duration/converged on this line all describe the round-robin
 	// run; the adaptive run's convergence is reported with its comparison
 	// line below.
-	fmt.Printf("window=%d hop=%d workers=%d batch=%d cov=%v gumbel=%v kernel=%s   %d windows in %v (converged=%v)\n",
+	fmt.Printf("window=%d hop=%d workers=%d batch=%d cov=%v gumbel=%v kernel=%s   %d windows in %v (converged=%v unconverged=%d sweeps=%d)\n",
 		cfg.Window, cfg.Hop, cfg.Workers, cfg.Batch, cfg.Covariance, cfg.Mux.GumbelReject,
-		kernelName(cfg.FastMath), rep.Windows, rep.Duration.Round(time.Millisecond), rep.RRConverged)
+		kernelName(cfg.FastMath), rep.Windows, rep.Duration.Round(time.Millisecond),
+		rep.RRConverged, rep.Unconverged, rep.TotalSweeps)
 	if !quiet {
 		fmt.Printf("aligned per-interval error (DTW, mean over events):\n")
 		fmt.Printf("  raw multiplexed (sample-and-hold):   %7.3f%%\n", 100*rep.NaiveAligned)
@@ -203,6 +212,10 @@ func streamMain(args []string) {
 	if err != nil {
 		fatal("bayesperf stream", 2, err)
 	}
+	sink, err := newMetricsSink(*sf.metrics, *sf.metricsAddr)
+	if err != nil {
+		fatal("bayesperf stream", 2, err)
+	}
 
 	cfg := stream.DefaultConfig()
 	if *window > 0 {
@@ -230,7 +243,7 @@ func streamMain(args []string) {
 	wl := measure.DefaultWorkload(*sf.intervals)
 	ok := true
 	for _, cat := range cats {
-		rep, err := runStreamCatalog(cat, wl, cfg, *sf.seed, *sf.derived)
+		rep, err := runStreamCatalog(cat, wl, cfg, *sf.seed, *sf.derived, sink.Registry())
 		if err != nil {
 			fatal("bayesperf stream", 1, fmt.Errorf("%s: %w", cat.Arch, err))
 		}
@@ -248,6 +261,11 @@ func streamMain(args []string) {
 			rep.DerivedCorrectedAligned >= 1.02*rep.DerivedWindowedAligned) {
 			ok = false
 		}
+	}
+	// Snapshot before the exit gate so a NOT IMPROVED run still reports its
+	// pipeline metrics.
+	if err := sink.Flush(); err != nil {
+		fatal("bayesperf stream", 1, err)
 	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "bayesperf stream: correction did not improve on the raw multiplexed stream")

@@ -17,7 +17,7 @@ func TestStreamCLIImproves(t *testing.T) {
 	wl := measure.DefaultWorkload(100)
 	cfg := stream.DefaultConfig().WithDefaults()
 	for _, cat := range uarch.Catalogs() {
-		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", cat.Arch, err)
 		}
@@ -53,7 +53,7 @@ func TestStreamCLIDerived(t *testing.T) {
 	wl := measure.DefaultWorkload(100)
 	cfg := stream.DefaultConfig().WithDefaults()
 	for _, cat := range uarch.Catalogs() {
-		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", cat.Arch, err)
 		}
@@ -91,7 +91,7 @@ func TestStreamCLITotalsCrossCheck(t *testing.T) {
 	wl := measure.DefaultWorkload(100)
 	cfg := stream.DefaultConfig().WithDefaults()
 	for _, cat := range uarch.Catalogs() {
-		rep, err := runStreamCatalog(cat, wl, cfg, 42, true)
+		rep, err := runStreamCatalog(cat, wl, cfg, 42, true, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", cat.Arch, err)
 		}
@@ -115,12 +115,12 @@ func TestStreamCLIGumbelFlag(t *testing.T) {
 	cfg.Mux.OutlierMag = 8
 
 	cat := uarch.Skylake()
-	plain, err := runStreamCatalog(cat, wl, cfg, 7, true)
+	plain, err := runStreamCatalog(cat, wl, cfg, 7, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Mux.GumbelReject = true
-	filtered, err := runStreamCatalog(cat, wl, cfg, 7, true)
+	filtered, err := runStreamCatalog(cat, wl, cfg, 7, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,3 +71,38 @@ func TestCheckAgainst(t *testing.T) {
 		t.Errorf("clean run flagged: regs %+v missing %v", regs, missing)
 	}
 }
+
+func TestParseBenchKeepsMin(t *testing.T) {
+	out := `goos: linux
+BenchmarkX-8   100   5000 ns/op   12 allocs/op
+BenchmarkX-8   100   4000 ns/op   12 allocs/op
+BenchmarkX-8   100   6000 ns/op   12 allocs/op
+`
+	benches, _, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := benches["X"]; got.NsPerWindow != 4000 || got.AllocsPerOp != 12 {
+		t.Errorf("X = %+v, want min ns 4000 allocs 12", got)
+	}
+}
+
+func TestCheckObsOverhead(t *testing.T) {
+	cur := map[string]entry{
+		"s/batch=8/exact":     {NsPerWindow: 10000},
+		"s/batch=8/exact/obs": {NsPerWindow: 10300}, // 3% — within 5%
+		"s/batch=8/fast":      {NsPerWindow: 8000},
+		"s/batch=8/fast/obs":  {NsPerWindow: 8900}, // 11.25% — over
+		"s/batch=1/obs":       {NsPerWindow: 100},  // twin absent: skipped
+	}
+	regs := checkObsOverhead(cur, 1.05)
+	if len(regs) != 1 || regs[0].name != "s/batch=8/fast/obs" {
+		t.Fatalf("regs = %+v, want only the fast/obs pair", regs)
+	}
+	if regs[0].gate != 1.05*8000 {
+		t.Errorf("gate = %v, want %v", regs[0].gate, 1.05*8000)
+	}
+	if regs = checkObsOverhead(cur, 1.2); len(regs) != 0 {
+		t.Errorf("relaxed ratio still flagged: %+v", regs)
+	}
+}

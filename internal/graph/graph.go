@@ -91,6 +91,10 @@ func (g *Graph) Catalog() *uarch.Catalog { return g.batch.plan.cat }
 // exact kernel remains the golden oracle.
 func (g *Graph) SetFastMath(on bool) { g.batch.FastMath = on }
 
+// SetMetrics attaches the graph-layer instrument set (see Batch.SetMetrics);
+// nil detaches. Posteriors are bitwise unaffected either way.
+func (g *Graph) SetMetrics(m *Metrics) { g.batch.SetMetrics(m) }
+
 // Observe attaches (or replaces) the measurement factor for an event:
 // the event's value is measured as N(mean, std²). For multiplexed counters
 // the std comes from the Student-t marginal of the per-interval samples

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"testing"
+
+	"bayesperf/internal/obs"
+	"bayesperf/internal/rng"
+	"bayesperf/internal/uarch"
+)
+
+// TestGraphMetricsRecording runs instrumented single-window inference and
+// checks the execution counters agree with the returned Result — and that
+// attaching metrics leaves the posterior bit identical.
+func TestGraphMetricsRecording(t *testing.T) {
+	c := uarch.Skylake()
+	truth := skylakeTruth(c)
+
+	infer := func(m *Metrics, fast bool) Result {
+		g := Build(c)
+		g.SetFastMath(fast)
+		g.SetMetrics(m)
+		benchObserveAll(g, truth, rng.New(3))
+		return g.Infer(200, 1e-9)
+	}
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	res := infer(m, false)
+	plain := infer(nil, false)
+
+	for id := range res.Mean {
+		if res.Mean[id] != plain.Mean[id] || res.Std[id] != plain.Std[id] {
+			t.Fatalf("event %d: metrics changed the posterior", id)
+		}
+	}
+
+	snap := reg.Snapshot()
+	counter := func(name string, labels ...obs.Label) float64 {
+		t.Helper()
+		ms := snap.Find(name, labels...)
+		if ms == nil {
+			t.Fatalf("metric %s%v not in snapshot", name, labels)
+		}
+		return ms.Value
+	}
+	if got := counter("bayesperf_graph_windows_total"); got != 1 {
+		t.Errorf("windows counter = %v, want 1", got)
+	}
+	if got := counter("bayesperf_graph_sweeps_total"); got != float64(res.Iters) {
+		t.Errorf("sweeps counter = %v, want Result.Iters %d", got, res.Iters)
+	}
+	if got := counter("bayesperf_graph_kernel_windows_total", obs.Label{Key: "kernel", Value: "exact"}); got != 1 {
+		t.Errorf("exact kernel counter = %v, want 1", got)
+	}
+	unconv := counter("bayesperf_graph_unconverged_windows_total")
+	if want := float64(0); !res.Converged {
+		want = 1
+	} else if unconv != want {
+		t.Errorf("unconverged counter = %v with Converged=%v", unconv, res.Converged)
+	}
+	hist := snap.Find("bayesperf_graph_sweeps_per_window")
+	if hist == nil || hist.Count != 1 || hist.Sum != float64(res.Iters) {
+		t.Errorf("sweeps histogram = %+v, want count 1 sum %d", hist, res.Iters)
+	}
+
+	// The fast kernel records under its own label.
+	infer(m, true)
+	snap = reg.Snapshot()
+	if got := counter("bayesperf_graph_kernel_windows_total", obs.Label{Key: "kernel", Value: "fast"}); got != 1 {
+		t.Errorf("fast kernel counter = %v, want 1", got)
+	}
+}
+
+// TestGraphMetricsNilSafe: a nil *Metrics records nothing and never
+// dereferences.
+func TestGraphMetricsNilSafe(t *testing.T) {
+	if m := NewMetrics(nil); m != nil {
+		t.Fatalf("NewMetrics(nil) = %v, want nil", m)
+	}
+	c := uarch.Skylake()
+	g := Build(c)
+	g.SetMetrics(nil)
+	benchObserveAll(g, skylakeTruth(c), rng.New(3))
+	if res := g.Infer(50, 1e-9); len(res.Mean) == 0 {
+		t.Fatal("inference with nil metrics returned no posterior")
+	}
+}

@@ -172,6 +172,10 @@ type Batch struct {
 	// row in the belief slabs.
 	activeMask []float64
 	rowOff     []int64
+	// m, when non-nil, records per-Execute outcomes (windows, sweeps,
+	// convergence, kernel choice, cavity-floor hits) after each sweep loop
+	// finishes — see SetMetrics.
+	m *Metrics
 
 	obsMean  []float64 // nv*lanes
 	obsStd   []float64
@@ -242,6 +246,12 @@ func (b *Batch) EnableCovariance() { b.needCov = true }
 
 // Plan returns the compiled plan the batch executes.
 func (b *Batch) Plan() *Plan { return b.plan }
+
+// SetMetrics attaches (or with nil detaches) an instrument set that every
+// subsequent Execute records into. Recording happens strictly after the
+// sweep loop and reads converged state only, so posteriors are bitwise
+// unaffected by whether metrics are on.
+func (b *Batch) SetMetrics(m *Metrics) { b.m = m }
 
 // Observe attaches (or replaces) the measurement factor for an event in one
 // lane's window; the semantics and validity checks match Graph.Observe.
@@ -419,6 +429,9 @@ func (b *Batch) ExecuteInto(res *BatchResult, n, maxIter int, tol float64) *Batc
 		b.sweepFast(n, maxIter, tol)
 	} else {
 		b.sweepExact(n, maxIter, tol)
+	}
+	if b.m != nil {
+		b.m.recordExecute(b, n)
 	}
 
 	return b.resultInto(res, n)

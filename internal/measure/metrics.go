@@ -1,0 +1,70 @@
+package measure
+
+import "bayesperf/internal/obs"
+
+// Metrics is the measurement layer's instrument set: ingestion-quality
+// counters shared by every consumer that estimates observations from raw
+// readings (the stream engine's ingest loop and the Session batch drain).
+// The zero value is metrics-off: nil instruments whose methods no-op.
+type Metrics struct {
+	// DroppedNonFinite counts NaN/Inf readings discarded at ingestion
+	// before they can poison running sums or the factor graph.
+	DroppedNonFinite *obs.Counter
+	// GumbelRejected counts samples discarded by the Gumbel high-side
+	// outlier test before mean/std estimation.
+	GumbelRejected *obs.Counter
+}
+
+// NewMetrics registers the measure-layer instruments on r and returns the
+// set; a nil registry returns the zero (metrics-off) set.
+func NewMetrics(r *obs.Registry) Metrics {
+	if r == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		DroppedNonFinite: r.Counter("bayesperf_measure_dropped_nonfinite_total",
+			"Non-finite (NaN/Inf) readings dropped at ingestion."),
+		GumbelRejected: r.Counter("bayesperf_measure_gumbel_rejected_total",
+			"Readings rejected by the Gumbel high-side outlier test."),
+	}
+}
+
+// SchedMetrics is the scheduler layer's instrument set, recorded once per
+// adaptive epoch. The zero value is metrics-off.
+type SchedMetrics struct {
+	// Reprioritizations counts epoch-boundary Reprioritize calls.
+	Reprioritizations *obs.Counter
+	// SlotMoves counts individual slot reassignments across all epochs.
+	SlotMoves *obs.Counter
+	// EpochRelStd observes the pooled posterior relative std handed to the
+	// scheduler at each epoch — the uncertainty signal its decisions chase.
+	EpochRelStd *obs.Histogram
+}
+
+// NewSchedMetrics registers the scheduler-layer instruments on r and
+// returns the set; a nil registry returns the zero (metrics-off) set.
+func NewSchedMetrics(r *obs.Registry) SchedMetrics {
+	if r == nil {
+		return SchedMetrics{}
+	}
+	return SchedMetrics{
+		Reprioritizations: r.Counter("bayesperf_sched_reprioritizations_total",
+			"Adaptive-scheduler epoch reprioritizations."),
+		SlotMoves: r.Counter("bayesperf_sched_slot_moves_total",
+			"Multiplexing slots moved between event groups by the adaptive scheduler."),
+		EpochRelStd: r.Histogram("bayesperf_sched_epoch_posterior_relstd",
+			"Pooled posterior relative std fed to the adaptive scheduler per epoch.",
+			obs.ExponentialBuckets(1e-4, 4, 8)),
+	}
+}
+
+// RecordEpoch folds one epoch-boundary reprioritization into the
+// instruments: movesDelta is the slot moves this epoch, pooledRelStd the
+// epoch's pooled posterior relative std.
+func (m SchedMetrics) RecordEpoch(movesDelta int, pooledRelStd float64) {
+	m.Reprioritizations.Inc()
+	if movesDelta > 0 {
+		m.SlotMoves.Add(uint64(movesDelta))
+	}
+	m.EpochRelStd.Observe(pooledRelStd)
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// BucketSnapshot is one cumulative histogram bucket: Count observations
+// were ≤ LE ("less than or equal", Prometheus `le` semantics; the last
+// bucket's LE is "+Inf" and its Count equals the histogram's total count).
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is one instrument's point-in-time state.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"` // "counter" | "gauge" | "histogram"
+	Help    string            `json:"help,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`             // counter/gauge value; histograms: 0
+	Sum     float64           `json:"sum,omitempty"`     // histograms only
+	Count   uint64            `json:"count,omitempty"`   // histograms only
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"` // histograms only, cumulative
+}
+
+// RegistrySnapshot is a consistent-enough point-in-time copy of every
+// instrument (individual values are read atomically; cross-instrument skew
+// is bounded by the duration of the snapshot).
+type RegistrySnapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Find returns the first metric with the given name whose labels include
+// every given label, or nil. It exists for tests and programmatic health
+// checks; encoders iterate Metrics directly.
+func (s *RegistrySnapshot) Find(name string, labels ...Label) *MetricSnapshot {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if m.Labels[l.Key] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the registry's current state in registration order. A nil
+// registry snapshots as empty.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	ins := r.instruments()
+	snap := RegistrySnapshot{Metrics: make([]MetricSnapshot, 0, len(ins))}
+	for _, in := range ins {
+		d := in.describe()
+		m := MetricSnapshot{Name: d.name, Type: in.kindOf().String(), Help: d.help}
+		if len(d.labels) > 0 {
+			m.Labels = make(map[string]string, len(d.labels))
+			for _, l := range d.labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		switch v := in.(type) {
+		case *Counter:
+			m.Value = float64(v.Value())
+		case *Gauge:
+			m.Value = v.Value()
+		case *Histogram:
+			m.Sum = v.Sum()
+			m.Buckets = make([]BucketSnapshot, 0, len(v.bounds)+1)
+			var cum uint64
+			for i := range v.counts {
+				cum += v.counts[i].Load()
+				le := "+Inf"
+				if i < len(v.bounds) {
+					le = formatFloat(v.bounds[i])
+				}
+				m.Buckets = append(m.Buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+			m.Count = cum
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders a label set as {k="v",...} with an optional extra
+// trailing label (used for histogram `le`). Empty set and no extra → "".
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			s += ","
+		}
+		s += extraKey + `="` + extraVal + `"`
+	}
+	return s + "}"
+}
+
+// WritePrometheus writes the registry's state in the Prometheus text
+// exposition format (version 0.0.4). Instruments sharing a metric name are
+// grouped under one # HELP/# TYPE header (first registration wins the help
+// text), in first-registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ins := r.instruments()
+	done := map[string]bool{}
+	for _, first := range ins {
+		name := first.describe().name
+		if done[name] {
+			continue
+		}
+		done[name] = true
+		if help := first.describe().help; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, first.kindOf()); err != nil {
+			return err
+		}
+		for _, in := range ins {
+			d := in.describe()
+			if d.name != name {
+				continue
+			}
+			var err error
+			switch v := in.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", name, labelString(d.labels, "", ""), v.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", name, labelString(d.labels, "", ""), formatFloat(v.Value()))
+			case *Histogram:
+				var cum uint64
+				for i := range v.counts {
+					cum += v.counts[i].Load()
+					le := "+Inf"
+					if i < len(v.bounds) {
+						le = formatFloat(v.bounds[i])
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(d.labels, "le", le), cum); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(d.labels, "", ""), formatFloat(v.Sum())); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(d.labels, "", ""), cum)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+// Package obs is BayesPerf's dependency-free observability layer: a
+// Registry of typed instruments — atomic counters, gauges, and fixed-bucket
+// histograms — plus lightweight Span tracing for the pipeline's stages.
+// Every layer of the correction engine (graph, stream, measure, scheduler,
+// session) records into one shared Registry, which snapshots as Prometheus
+// text or JSON (encode.go); that snapshot is the health surface behind the
+// CLI's -metrics/-metrics-addr flags and the prerequisite for the planned
+// fleet-scale `bayesperf serve` mode.
+//
+// Design constraints, in order:
+//
+//   - Low overhead on the hot path. Recording is a handful of atomic
+//     operations — no locks, no allocations, no map lookups. Instruments
+//     are resolved once at registration (get-or-create by name + constant
+//     labels) and held as typed pointers at the recording site.
+//   - Metrics-off must cost nothing. Every instrument method is nil-safe:
+//     a nil *Registry returns nil instruments, and recording on a nil
+//     instrument is a no-op behind a single predictable branch. Layers
+//     therefore thread instruments unconditionally instead of guarding
+//     every site.
+//   - Safe under -race. Registration takes the registry mutex; recording
+//     and snapshotting touch only atomics, so concurrent workers hammer
+//     the same instrument freely and an HTTP scrape can run mid-stream.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name/value pair attached to an instrument at
+// registration. Same metric name + different label sets = distinct
+// instruments that the encoders group under one metric family, exactly as
+// Prometheus expects.
+type Label struct {
+	Key, Value string
+}
+
+// kind discriminates the instrument types for family-level consistency
+// checks and encoding.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// desc is an instrument's identity: metric name, help text, and its
+// canonically sorted constant labels.
+type desc struct {
+	name   string
+	help   string
+	labels []Label
+	key    string // name + rendered labels; the registry's identity key
+}
+
+// instrument is the registry's view of any metric.
+type instrument interface {
+	describe() *desc
+	kindOf() kind
+}
+
+// validName reports whether s is a legal Prometheus metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s is a legal Prometheus label name.
+func validLabelKey(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// makeDesc validates and canonicalizes an instrument identity. Invalid
+// names are programming errors and panic at registration (never on the
+// recording path).
+func makeDesc(name, help string, labels []Label) desc {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for i, l := range ls {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+		if i > 0 && ls[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label %q on metric %q", l.Key, name))
+		}
+		if i == 0 {
+			b.WriteByte('{')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabelValue(l.Value))
+	}
+	if len(ls) > 0 {
+		b.WriteByte('}')
+	}
+	return desc{name: name, help: help, labels: ls, key: b.String()}
+}
+
+// Registry holds a process's (or one run's) instruments. The zero value is
+// ready to use; NewRegistry exists for symmetry with the rest of the API.
+// Registration is get-or-create: asking twice for the same name + labels
+// returns the same instrument, so independent pipeline runs sharing a
+// registry aggregate naturally. A nil *Registry is the "metrics off"
+// registry: every constructor returns nil and every recording is a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	byKey    map[string]instrument
+	order    []instrument    // registration order, for stable encoding
+	nameKind map[string]kind // family-level type consistency
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// register is the get-or-create core shared by the typed constructors.
+// make builds the new instrument when the key is free.
+func (r *Registry) register(d desc, k kind, make func() instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byKey == nil {
+		r.byKey = map[string]instrument{}
+		r.nameKind = map[string]kind{}
+	}
+	if in, ok := r.byKey[d.key]; ok {
+		if in.kindOf() != k {
+			panic(fmt.Sprintf("obs: %s already registered as a %s, not a %s",
+				d.key, in.kindOf(), k))
+		}
+		return in
+	}
+	if prev, ok := r.nameKind[d.name]; ok && prev != k {
+		panic(fmt.Sprintf("obs: metric family %s already registered as a %s, not a %s",
+			d.name, prev, k))
+	}
+	in := make()
+	r.byKey[d.key] = in
+	r.nameKind[d.name] = k
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter returns the registry's monotonically increasing counter with the
+// given name and constant labels, creating it on first use. Nil registry →
+// nil counter (recording no-ops).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	d := makeDesc(name, help, labels)
+	return r.register(d, counterKind, func() instrument { return &Counter{d: d} }).(*Counter)
+}
+
+// Gauge returns the registry's float gauge with the given name and constant
+// labels, creating it on first use. Nil registry → nil gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	d := makeDesc(name, help, labels)
+	return r.register(d, gaugeKind, func() instrument { return &Gauge{d: d} }).(*Gauge)
+}
+
+// Histogram returns the registry's fixed-bucket histogram with the given
+// name, bucket upper bounds (strictly increasing, finite; a +Inf overflow
+// bucket is implicit) and constant labels, creating it on first use; a
+// later call with the same identity returns the existing histogram and its
+// original bounds. Nil registry → nil histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s needs at least one bucket bound", name))
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %s has non-finite bound %v", name, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing at %v", name, b))
+		}
+	}
+	d := makeDesc(name, help, labels)
+	return r.register(d, histogramKind, func() instrument {
+		return &Histogram{
+			d:      d,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}).(*Histogram)
+}
+
+// instruments returns a stable-order copy of the registered instruments for
+// the encoders, without holding the lock while they read atomics.
+func (r *Registry) instruments() []instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]instrument(nil), r.order...)
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) describe() *desc { return &c.d }
+func (c *Counter) kindOf() kind    { return counterKind }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v to the gauge (CAS loop). No-op on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) describe() *desc { return &g.d }
+func (g *Gauge) kindOf() kind    { return gaugeKind }
+
+// Histogram counts observations into fixed buckets (Prometheus `le`
+// semantics: bucket i holds v ≤ bounds[i], the last bucket is +Inf) and
+// accumulates their sum. Observing is two atomic adds plus a short
+// predictable scan over the bounds — no locks, no allocation.
+type Histogram struct {
+	d      desc
+	bounds []float64
+	counts []atomic.Uint64 // per-bucket (non-cumulative); len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, CAS-added
+}
+
+// Observe records one value. NaN observations are dropped (they have no
+// bucket and would poison the sum). No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+func (h *Histogram) describe() *desc { return &h.d }
+func (h *Histogram) kindOf() kind    { return histogramKind }
+
+// Span is one timed stage execution: StartSpan stamps the clock, End
+// records the elapsed seconds into the stage's histogram. A Span is a
+// value; starting one against a nil histogram is free (no clock read) and
+// End on it is a no-op, so stage tracing costs nothing when metrics are
+// off.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins a timed span recording into h on End.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span and records its duration in seconds.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start).Seconds())
+	}
+}
+
+// LatencyBuckets returns the default stage-latency bucket bounds in
+// seconds: exponential from 1µs to 4s, matched to the pipeline's window
+// costs (µs) and whole-run durations (ms–s).
+func LatencyBuckets() []float64 {
+	return []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1, 4}
+}
+
+// RatioBuckets returns bucket bounds for quantities in (0, 1] at 1/8
+// resolution — e.g. the batch fill ratio.
+func RatioBuckets() []float64 {
+	return []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor× the
+// previous — the general-purpose bound builder for count-like histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounter and BenchmarkObsHistogram pin the recording hot
+// path's cost into the committed perf trajectory (BENCH_obs.json via
+// cmd/benchjson). Both must stay at 0 allocs/op — the CI gate runs with
+// -alloc-slack 0.
+
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", LatencyBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// BenchmarkObsCounterDisabled measures the metrics-off path: a nil
+// instrument's method call. This is what every instrumented layer pays
+// when no registry is configured.
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Add(-1.5)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge after Add = %v, want 1", got)
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h", Label{"k", "v"})
+	b := r.Counter("same_total", "h", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c := r.Counter("same_total", "h", Label{"k", "other"})
+	if a == c {
+		t.Fatal("different label value should be a distinct instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("aliasing broken: b=%d c=%d", b.Value(), c.Value())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge under a counter name")
+		}
+	}()
+	r.Gauge("conflict_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, bad := range []string{"", "1bad", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid label key should panic")
+		}
+	}()
+	NewRegistry().Counter("ok_total", "", Label{"__reserved", "x"})
+}
+
+// TestHistogramBucketBoundaries is the golden boundary test: Prometheus
+// `le` semantics mean a value exactly on a bound lands in that bound's
+// bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := r.Snapshot()
+	m := snap.Find("test_hist")
+	if m == nil {
+		t.Fatal("test_hist missing from snapshot")
+	}
+	want := []BucketSnapshot{{"1", 2}, {"2", 4}, {"4", 6}, {"+Inf", 7}}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", m.Buckets, want)
+	}
+	for i, b := range want {
+		if m.Buckets[i] != b {
+			t.Fatalf("bucket %d = %v, want %v", i, m.Buckets[i], b)
+		}
+	}
+	if m.Count != 7 {
+		t.Fatalf("count = %d, want 7", m.Count)
+	}
+	if m.Sum != 0.5+1+1.5+2+3+4+5 {
+		t.Fatalf("sum = %v, want 17", m.Sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}, {1, math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v should panic", bounds)
+				}
+			}()
+			NewRegistry().Histogram("h_hist", "", bounds)
+		}()
+	}
+}
+
+// TestNilSafety: the metrics-off path — a nil registry hands out nil
+// instruments whose every method no-ops.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x_gauge", "")
+	h := r.Histogram("x_hist", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	sp := StartSpan(h)
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if snap := r.Snapshot(); len(snap.Metrics) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "", LatencyBuckets())
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("span count = %d, want 1", h.Count())
+	}
+	if s := h.Sum(); s < 0.0005 || s > 5 {
+		t.Fatalf("span recorded %v s, want ~1ms", s)
+	}
+}
+
+// TestRegistryConcurrency hammers registration, recording, and snapshot
+// encoding from many goroutines at once; run under -race this is the
+// subsystem's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			h := r.Histogram("conc_hist", "", []float64{1, 10, 100})
+			ga := r.Gauge("conc_gauge", "")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 150))
+				ga.Add(1)
+				if i%500 == 0 {
+					_ = r.WritePrometheus(io.Discard)
+					_ = r.WriteJSON(io.Discard)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("conc_hist", "", []float64{1, 10, 100}).Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+}
+
+// TestPrometheusText checks the exposition format against a golden
+// rendering: HELP/TYPE grouping, label escaping, cumulative buckets,
+// +Inf, _sum/_count.
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "requests", Label{"kernel", "fast"}).Add(3)
+	r.Counter("req_total", "requests", Label{"kernel", "exact"}).Add(2)
+	r.Gauge("temp_gauge", "").Set(1.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.Counter("esc_total", "", Label{"path", "a\\b\"c\nd"}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP req_total requests
+# TYPE req_total counter
+req_total{kernel="fast"} 3
+req_total{kernel="exact"} 2
+# TYPE temp_gauge gauge
+temp_gauge 1.5
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 2.55
+lat_seconds_count 3
+# TYPE esc_total counter
+esc_total{path="a\\b\"c\nd"} 1
+`
+	if b.String() != want {
+		t.Fatalf("prometheus text mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "help here", Label{"mode", "stream"}).Add(7)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"j_total"`, `"counter"`, `"help here"`, `"mode": "stream"`, `"value": 7`} {
+		if !strings.Contains(b.String(), frag) {
+			t.Fatalf("JSON snapshot missing %s:\n%s", frag, b.String())
+		}
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	if rb := RatioBuckets(); rb[len(rb)-1] != 1 {
+		t.Fatalf("RatioBuckets must end at 1, got %v", rb)
+	}
+}
+
+// TestHotPathZeroAlloc is the machine-independent half of the overhead
+// gate: recording into counters and histograms must never allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	h := r.Histogram("alloc_hist", "", LatencyBuckets())
+	g := r.Gauge("alloc_gauge", "")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(3e-5)
+		g.Set(1)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"bayesperf/internal/graph"
 	"bayesperf/internal/measure"
+	"bayesperf/internal/obs"
 	"bayesperf/internal/rng"
 	"bayesperf/internal/stats"
 	"bayesperf/internal/timeseries"
@@ -64,6 +65,12 @@ type Config struct {
 	// SizeHint presizes the per-interval accumulators when the stream
 	// length is known up front (0 = unknown, grow on demand).
 	SizeHint int
+	// Metrics, when non-nil, receives the engine's instrumentation: stage
+	// latency histograms, window/batch counters, ingestion-quality counters,
+	// and the graph layer's per-Execute outcomes (see internal/obs). Nil
+	// keeps every recording site a free no-op; the stitched output is
+	// bitwise identical either way.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the evaluation defaults: 24-interval windows
@@ -165,6 +172,11 @@ type Result struct {
 	InferIters stats.Running
 	// AllConverged reports whether every window's inference converged.
 	AllConverged bool
+	// Unconverged counts the windows whose inference exhausted MaxIter
+	// without meeting Tol (AllConverged == (Unconverged == 0)).
+	Unconverged int
+	// TotalSweeps is the message-passing sweep total across all windows.
+	TotalSweeps int
 	// Reprioritizations counts adaptive slot-plan rebuilds (0 under
 	// round-robin).
 	Reprioritizations int
@@ -231,7 +243,18 @@ type Engine struct {
 	postRelStd  stats.Running
 	workerIters []stats.Running
 	converged   bool
+	unconverged int
+	totalSweeps int
 	tri         []float64 // per-window triangular kernel scratch
+
+	// Instrumentation (all nil-safe no-ops when Config.Metrics is nil):
+	// stream-stage instruments, the shared measure-layer counters, the
+	// graph layer's per-Execute recorder handed to every worker batch, and
+	// the once-per-engine non-finite-drop warning latch.
+	m          engineMetrics
+	mm         measure.Metrics
+	gm         *graph.Metrics
+	warnedDrop bool
 
 	// Epoch feedback accumulators: per-event posterior (and observation)
 	// sums over the windows stitched since the last EpochPosterior call.
@@ -286,6 +309,9 @@ func NewEngine(cat *uarch.Catalog, cfg Config) *Engine {
 		epochObsN:   make([]int, ne),
 		workerIters: make([]stats.Running, cfg.Workers),
 		converged:   true,
+		m:           newEngineMetrics(cfg.Metrics),
+		mm:          measure.NewMetrics(cfg.Metrics),
+		gm:          graph.NewMetrics(cfg.Metrics),
 	}
 	for id := range e.firstT {
 		e.firstT[id] = -1
@@ -360,6 +386,7 @@ func (e *Engine) worker(wi int) {
 	defer e.wg.Done()
 	batch := e.plan.NewBatch(e.cfg.Batch)
 	batch.FastMath = e.cfg.FastMath
+	batch.SetMetrics(e.gm)
 	if len(e.covPairs) > 0 {
 		batch.EnableCovariance()
 	}
@@ -374,7 +401,9 @@ func (e *Engine) worker(wi int) {
 				}
 			}
 		}
+		sp := obs.StartSpan(e.m.stInfer)
 		br = batch.ExecuteInto(br, len(jobs), e.cfg.MaxIter, e.cfg.Tol)
+		sp.End()
 		for lane, job := range jobs {
 			res := br.Window(lane)
 			iters.Add(float64(res.Iters))
@@ -400,9 +429,29 @@ func (e *Engine) worker(wi int) {
 // Ingest feeds one interval into the window; at hop boundaries the window
 // is snapshotted and dispatched to the pool.
 func (e *Engine) Ingest(s measure.IntervalSample) {
+	// Ingest is the only per-interval stage, so its latency span is sampled
+	// 1-in-16: two clock reads per interval would be the single largest
+	// instrumentation cost of the whole pipeline, while a sampled histogram
+	// of a stage this uniform loses nothing.
+	var sp obs.Span
+	if e.ingested&0xf == 0 {
+		sp = obs.StartSpan(e.m.stIngest)
+	}
+	defer sp.End()
+	e.m.intervals.Inc()
 	for i, id := range s.Events {
 		if !finite(s.Values[i]) {
-			continue // corrupted reading: keep it out of the naive series
+			// Corrupted reading: keep it out of the naive series. Count the
+			// drop (once per reading — the fusion loop below skips the same
+			// values) and warn the first time this stream drops one.
+			e.mm.DroppedNonFinite.Inc()
+			if !e.warnedDrop {
+				e.warnedDrop = true
+				warnf("stream: dropping non-finite reading for event %s at interval %d "+
+					"(further drops counted in bayesperf_measure_dropped_nonfinite_total)",
+					e.cat.Event(id).Name, e.ingested)
+			}
+			continue
 		}
 		e.lastVal[id] = s.Values[i]
 		if e.firstT[id] < 0 {
@@ -436,6 +485,7 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 			continue // corrupted reading: no live-precision fusion either
 		}
 		if e.cfg.Mux.GumbelReject && e.win.lastIsOutlier(id, e.cfg.Mux.RejectQuantile()) {
+			e.m.liveOutliers.Inc()
 			continue
 		}
 		sv := e.cfg.Mux.NoiseFrac * v
@@ -459,7 +509,19 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 // emit snapshots the current window into the batch buffer; a full buffer
 // (cfg.Batch windows) is dispatched to the pool as one batched job.
 func (e *Engine) emit() {
+	// Per-window spans are sampled 1-in-8 like the per-interval ingest span:
+	// snapshot latency is uniform across windows and the clock reads would
+	// otherwise be the dominant cost of instrumenting this stage.
+	var sp obs.Span
+	if e.nextIdx&7 == 0 {
+		sp = obs.StartSpan(e.m.stSnapshot)
+	}
 	job := e.win.snapshot(e.nextIdx, e.cfg.Mux)
+	sp.End()
+	e.m.windows.Inc()
+	if job.rejected > 0 {
+		e.m.gumbel.Add(uint64(job.rejected))
+	}
 	e.stitchRaw(job)
 	e.nextIdx++
 	e.pending++
@@ -478,6 +540,10 @@ func (e *Engine) dispatch() {
 	}
 	jobs := e.jobBuf
 	e.jobBuf = make([]windowJob, 0, e.cfg.Batch)
+	e.m.batches.Inc()
+	e.m.fillRatio.Observe(float64(len(jobs)) / float64(e.cfg.Batch))
+	sp := obs.StartSpan(e.m.stDispatch)
+	defer sp.End()
 	for {
 		select {
 		case e.jobs <- jobs:
@@ -501,7 +567,12 @@ func (e *Engine) absorb(r WindowPosterior) {
 			return
 		}
 		delete(e.parked, e.stitched)
+		var sp obs.Span
+		if e.stitched&7 == 0 { // sampled 1-in-8, matching emit's snapshot span
+			sp = obs.StartSpan(e.m.stStitch)
+		}
 		e.stitchCorrected(next)
+		sp.End()
 		e.stitched++
 	}
 }
@@ -582,6 +653,10 @@ func (e *Engine) stitchRaw(job windowJob) {
 func (e *Engine) stitchCorrected(r WindowPosterior) {
 	w := float64(r.End - r.Start)
 	e.converged = e.converged && r.Converged
+	if !r.Converged {
+		e.unconverged++
+	}
+	e.totalSweeps += r.Iters
 	tri := e.triKernel(r.Start, r.End)
 	for id := range r.Mean {
 		rate := r.Mean[id] / w
@@ -668,6 +743,8 @@ func (e *Engine) Finish() *Result {
 	close(e.jobs)
 	e.Flush()
 	e.wg.Wait()
+	sp := obs.StartSpan(e.m.stReport)
+	defer sp.End()
 
 	ne := e.cat.NumEvents()
 	res := &Result{
@@ -679,6 +756,8 @@ func (e *Engine) Finish() *Result {
 		NaiveRaw:     make([]timeseries.Series, ne),
 		PostRelStd:   e.postRelStd,
 		AllConverged: e.converged,
+		Unconverged:  e.unconverged,
+		TotalSweeps:  e.totalSweeps,
 	}
 	for _, wi := range e.workerIters {
 		res.InferIters.Merge(wi)
@@ -822,6 +901,13 @@ type IntervalSource interface {
 func Run(cat *uarch.Catalog, src IntervalSource, sched measure.Scheduler, cfg Config) *Result {
 	e := NewEngine(cat, cfg)
 	ad, adaptive := sched.(*measure.AdaptiveScheduler)
+	var sm measure.SchedMetrics
+	var prevMoves int
+	if adaptive {
+		// Registered only when the feedback loop is live: a round-robin run
+		// has no scheduler decisions to observe.
+		sm = measure.NewSchedMetrics(cfg.Metrics)
+	}
 	t := 0
 	for {
 		s, ok := src.Next()
@@ -834,6 +920,9 @@ func Run(cat *uarch.Catalog, src IntervalSource, sched measure.Scheduler, cfg Co
 			e.Flush()
 			if mean, std, obsStd, ok := e.EpochPosterior(); ok {
 				ad.Reprioritize(mean, std, obsStd)
+				moves := ad.Moves()
+				sm.RecordEpoch(moves-prevMoves, pooledRelStd(mean, std))
+				prevMoves = moves
 			}
 		}
 	}
@@ -842,6 +931,25 @@ func Run(cat *uarch.Catalog, src IntervalSource, sched measure.Scheduler, cfg Co
 		res.Reprioritizations = ad.Reprioritizations()
 	}
 	return res
+}
+
+// pooledRelStd pools a posterior's per-event relative std (std over
+// |mean|, floored at 1 so near-zero events don't dominate) into one
+// scheduler-facing uncertainty number — the same normalization
+// stitchCorrected feeds Result.PostRelStd.
+func pooledRelStd(mean, std []float64) float64 {
+	if len(mean) == 0 {
+		return 0
+	}
+	var sum float64
+	for id := range mean {
+		scale := math.Abs(mean[id])
+		if scale < 1 {
+			scale = 1
+		}
+		sum += std[id] / scale
+	}
+	return sum / float64(len(mean))
 }
 
 // RunTrace streams a ground-truth trace through sampler → engine end to

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bayesperf/internal/measure"
+	"bayesperf/internal/obs"
 	"bayesperf/internal/rng"
 	"bayesperf/internal/uarch"
 )
@@ -48,27 +49,39 @@ func BenchmarkStreamWindow(b *testing.B) {
 // into BENCH_stream.json and CI gates regressions against that baseline.
 func BenchmarkStreamBatched(b *testing.B) {
 	tr := benchTrace()
+	run := func(batch int, kernel string, reg *obs.Registry) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = 2
+			cfg.Batch = batch
+			cfg.FastMath = kernel == "fast"
+			cfg.Metrics = reg
+			windows := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := RunTrace(tr, measure.NewRoundRobin(tr.Cat), cfg, rng.New(2))
+				if !res.AllConverged {
+					b.Fatal("window inference did not converge")
+				}
+				windows = res.Windows
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
+		}
+	}
 	for _, batch := range []int{1, 8, 32} {
 		for _, kernel := range []string{"exact", "fast"} {
-			b.Run(fmt.Sprintf("batch=%d/%s", batch, kernel), func(b *testing.B) {
-				cfg := DefaultConfig()
-				cfg.Workers = 2
-				cfg.Batch = batch
-				cfg.FastMath = kernel == "fast"
-				windows := 0
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					res := RunTrace(tr, measure.NewRoundRobin(tr.Cat), cfg, rng.New(2))
-					if !res.AllConverged {
-						b.Fatal("window inference did not converge")
-					}
-					windows = res.Windows
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
-			})
+			b.Run(fmt.Sprintf("batch=%d/%s", batch, kernel), run(batch, kernel, nil))
 		}
+	}
+	// The /obs variants run the identical workload with a live metrics
+	// registry attached; cmd/benchjson's -obs-max-ratio gate pairs each one
+	// against its metrics-off twin from the same run to bound the
+	// instrumentation overhead (the registry is created outside the timed
+	// region, as a real deployment would).
+	for _, kernel := range []string{"exact", "fast"} {
+		b.Run(fmt.Sprintf("batch=%d/%s/obs", 8, kernel), run(8, kernel, obs.NewRegistry()))
 	}
 }
 

@@ -169,6 +169,9 @@ type windowJob struct {
 	// away from boundary-straddling windows.
 	disp     []float64
 	observed []bool
+	// rejected is the number of readings the Gumbel outlier filter dropped
+	// while deriving this snapshot (0 unless MuxConfig.GumbelReject).
+	rejected int
 }
 
 // snapshot derives each event's observation from the window's running
@@ -202,6 +205,7 @@ func (w *Window) snapshot(index int, mux measure.MuxConfig) windowJob {
 			// The rings hold only finite values, so the filter always
 			// keeps at least one reading.
 			kept, rejected := stats.GumbelFilterMax(er.ordered(w.scratch), mux.RejectQuantile())
+			job.rejected += rejected
 			if rejected > 0 {
 				n, sum, sq, ssd = len(kept), 0, 0, 0
 				for i, x := range kept {

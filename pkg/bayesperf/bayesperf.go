@@ -28,6 +28,7 @@ import (
 
 	"bayesperf/internal/graph"
 	"bayesperf/internal/measure"
+	"bayesperf/internal/obs"
 	"bayesperf/internal/rng"
 	"bayesperf/internal/stream"
 	"bayesperf/internal/uarch"
@@ -61,7 +62,18 @@ type (
 	// Config is the resolved engine configuration (window/hop/workers/
 	// inference budget/observation model), as returned by Session.Config.
 	Config = stream.Config
+	// MetricsRegistry collects the pipeline's instrumentation (counters,
+	// gauges, latency histograms, span traces) across every layer of a run;
+	// see WithMetrics. Snapshot it with WritePrometheus/WriteJSON/Snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one constant label on a registered instrument.
+	MetricLabel = obs.Label
 )
+
+// NewMetricsRegistry returns an empty metrics registry to hand to
+// WithMetrics. One registry can serve any number of sessions and runs;
+// instruments aggregate across them.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // DefaultWorkload returns the three-phase evaluation workload.
 func DefaultWorkload(intervalsPerPhase int) Workload {
@@ -118,6 +130,7 @@ type Session struct {
 	cfg     stream.Config
 	sched   SchedulerKind
 	derived bool
+	obs     *obs.Registry
 }
 
 // Option configures a Session.
@@ -305,6 +318,19 @@ func WithOutliers(prob, mag float64) Option {
 	}
 }
 
+// WithMetrics attaches a metrics registry to the session: every subsequent
+// run records its pipeline instrumentation there — session run counters and
+// durations, stream stage latencies and batch fill ratios, graph
+// sweep/convergence/kernel counters, measurement-layer drop and rejection
+// counters, and (adaptive runs) scheduler epoch decisions. Nil detaches.
+// Results are bitwise identical with metrics on or off.
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(s *Session) error {
+		s.obs = r
+		return nil
+	}
+}
+
 // WithMux replaces the whole observation model.
 func WithMux(m MuxConfig) Option {
 	return func(s *Session) error {
@@ -388,6 +414,31 @@ func sourceScheduler(src Source) Scheduler {
 
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
+// sessionMetrics is the session layer's instrument set for one run mode.
+// The zero value (no registry) is a free no-op set.
+type sessionMetrics struct {
+	runs      *obs.Counter
+	seconds   *obs.Histogram
+	intervals *obs.Counter
+}
+
+// sessionMetrics registers the session-layer instruments for a run mode
+// ("batch" | "stream") on the session's registry.
+func (s *Session) sessionMetrics(mode string) sessionMetrics {
+	if s.obs == nil {
+		return sessionMetrics{}
+	}
+	return sessionMetrics{
+		runs: s.obs.Counter("bayesperf_session_runs_total",
+			"Session runs started, by mode.", obs.Label{Key: "mode", Value: mode}),
+		seconds: s.obs.Histogram("bayesperf_session_run_seconds",
+			"Wall-clock duration of whole session runs, by mode.",
+			obs.LatencyBuckets(), obs.Label{Key: "mode", Value: mode}),
+		intervals: s.obs.Counter("bayesperf_session_intervals_total",
+			"Interval samples consumed across all session runs."),
+	}
+}
+
 // RunBatch drains the source and corrects whole-run totals: per-event §4.2
 // extrapolated estimates from the counted intervals, one factor-graph
 // inference over them, and derived-event posteriors. Sources exposing
@@ -399,6 +450,10 @@ func (s *Session) RunBatch(src Source) (*Report, error) {
 		return nil, err
 	}
 	cfg := s.cfg.WithDefaults()
+	sm := s.sessionMetrics("batch")
+	mm := measure.NewMetrics(s.obs)
+	sm.runs.Inc()
+	start := time.Now()
 
 	xs := make([][]float64, cat.NumEvents())
 	intervals := 0
@@ -413,6 +468,8 @@ func (s *Session) RunBatch(src Source) (*Report, error) {
 			}
 			if v := iv.Values[i]; finite(v) {
 				xs[id] = append(xs[id], v)
+			} else {
+				mm.DroppedNonFinite.Inc()
 			}
 		}
 		intervals++
@@ -420,16 +477,26 @@ func (s *Session) RunBatch(src Source) (*Report, error) {
 	if intervals == 0 {
 		return nil, fmt.Errorf("bayesperf: source produced no intervals")
 	}
+	sm.intervals.Add(uint64(intervals))
 
 	est := measure.EstimateSamples(xs, intervals, cfg.Mux)
+	var rejected uint64
+	for id := range est {
+		rejected += uint64(est[id].Rejected)
+	}
+	if rejected > 0 {
+		mm.GumbelRejected.Add(rejected)
+	}
 	g := graph.Build(cat)
 	g.SetFastMath(cfg.FastMath)
+	g.SetMetrics(graph.NewMetrics(s.obs))
 	for id := range est {
 		if est[id].N > 0 {
 			g.Observe(EventID(id), est[id].Total, est[id].Std)
 		}
 	}
 	post := g.Infer(cfg.MaxIter, cfg.Tol)
+	sm.seconds.Observe(time.Since(start).Seconds())
 	return s.batchReport(cat, src, est, &post, intervals), nil
 }
 
@@ -444,10 +511,13 @@ func (s *Session) RunStream(src Source) (*Report, error) {
 		return nil, err
 	}
 	cfg := s.cfg.WithDefaults()
+	cfg.Metrics = s.obs
 	if n, ok := src.(interface{ Intervals() int }); ok {
 		cfg.SizeHint = n.Intervals()
 	}
 	sched := sourceScheduler(src)
+	sm := s.sessionMetrics("stream")
+	sm.runs.Inc()
 
 	start := time.Now()
 	res := stream.Run(cat, src, sched, cfg)
@@ -455,5 +525,7 @@ func (s *Session) RunStream(src Source) (*Report, error) {
 	if res.Intervals == 0 {
 		return nil, fmt.Errorf("bayesperf: source produced no intervals")
 	}
+	sm.intervals.Add(uint64(res.Intervals))
+	sm.seconds.Observe(dur.Seconds())
 	return s.streamReport(cat, src, sched, res, dur)
 }

@@ -1,0 +1,123 @@
+package bayesperf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bayesperf/internal/uarch"
+	"bayesperf/pkg/bayesperf"
+)
+
+// TestSessionWithMetrics runs both session modes with one shared registry
+// and checks the report threading plus the cross-layer coverage of the
+// snapshot — every instrumented layer must contribute at least one sample.
+func TestSessionWithMetrics(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(60)
+	mux := bayesperf.DefaultMuxConfig()
+	reg := bayesperf.NewMetricsRegistry()
+
+	batchSess, err := bayesperf.New(
+		bayesperf.WithCatalog(cat),
+		bayesperf.WithMux(mux),
+		bayesperf.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchSess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Metrics != reg {
+		t.Error("batch Report.Metrics does not echo the WithMetrics registry")
+	}
+	if batch.TotalSweeps != batch.Iters {
+		t.Errorf("batch TotalSweeps = %d, want Iters %d", batch.TotalSweeps, batch.Iters)
+	}
+	if batch.Converged != (batch.UnconvergedWindows == 0) {
+		t.Errorf("batch UnconvergedWindows=%d inconsistent with Converged=%v",
+			batch.UnconvergedWindows, batch.Converged)
+	}
+
+	streamSess, err := bayesperf.New(
+		bayesperf.WithCatalog(cat),
+		bayesperf.WithMux(mux),
+		bayesperf.WithScheduler(bayesperf.Adaptive),
+		bayesperf.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := streamSess.RunStream(bayesperf.NewSimSource(cat, wl, mux, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Metrics != reg {
+		t.Error("stream Report.Metrics does not echo the WithMetrics registry")
+	}
+	if stream.UnconvergedWindows > stream.Windows {
+		t.Errorf("UnconvergedWindows %d > Windows %d", stream.UnconvergedWindows, stream.Windows)
+	}
+	if stream.TotalSweeps <= 0 {
+		t.Errorf("stream TotalSweeps = %d, want > 0", stream.TotalSweeps)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// One family per instrumented layer: the tentpole's coverage claim.
+	for _, name := range []string{
+		"bayesperf_session_runs_total",
+		"bayesperf_stream_windows_total",
+		"bayesperf_measure_dropped_nonfinite_total",
+		"bayesperf_graph_sweeps_total",
+		"bayesperf_sched_reprioritizations_total",
+	} {
+		if !strings.Contains(text, "\n"+name) {
+			t.Errorf("layer metric %s missing from the session snapshot", name)
+		}
+	}
+	snap := reg.Snapshot()
+	runs := snap.Find("bayesperf_session_runs_total", bayesperf.MetricLabel{Key: "mode", Value: "batch"})
+	if runs == nil || runs.Value != 1 {
+		t.Errorf("batch run counter = %+v, want 1", runs)
+	}
+	runs = snap.Find("bayesperf_session_runs_total", bayesperf.MetricLabel{Key: "mode", Value: "stream"})
+	if runs == nil || runs.Value != 1 {
+		t.Errorf("stream run counter = %+v, want 1", runs)
+	}
+}
+
+// TestSessionMetricsBitIdentical pins WithMetrics's documented invariant:
+// the corrected outputs are bitwise identical with and without a registry.
+func TestSessionMetricsBitIdentical(t *testing.T) {
+	cat := uarch.Skylake()
+	wl := bayesperf.DefaultWorkload(40)
+	mux := bayesperf.DefaultMuxConfig()
+
+	run := func(opts ...bayesperf.Option) *bayesperf.Report {
+		t.Helper()
+		sess, err := bayesperf.New(append([]bayesperf.Option{
+			bayesperf.WithCatalog(cat), bayesperf.WithMux(mux),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.RunBatch(bayesperf.NewSimSource(cat, wl, mux, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run()
+	instr := run(bayesperf.WithMetrics(bayesperf.NewMetricsRegistry()))
+	for i := range plain.Events {
+		if plain.Events[i].Mean != instr.Events[i].Mean || plain.Events[i].Std != instr.Events[i].Std {
+			t.Fatalf("event %s: WithMetrics changed the posterior", plain.Events[i].Name)
+		}
+	}
+}

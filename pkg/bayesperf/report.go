@@ -69,6 +69,15 @@ type Report struct {
 	FastMath  bool // inference ran the fast-math kernel (WithFastMath)
 	HasTruth  bool
 
+	// Metrics echoes the registry attached via WithMetrics (nil without
+	// one): the full pipeline instrumentation of every run recorded there.
+	Metrics *MetricsRegistry
+	// UnconvergedWindows counts inference windows that exhausted the sweep
+	// budget (a batch run is one window; stream runs count per window).
+	UnconvergedWindows int
+	// TotalSweeps is the message-passing sweep total across all windows.
+	TotalSweeps int
+
 	// Batch: whole-run totals after one inference pass.
 	Iters     int
 	Converged bool
@@ -125,12 +134,17 @@ func (s *Session) batchReport(cat *Catalog, src Source, est []measure.Sample,
 	post *graph.Result, intervals int) *Report {
 
 	rep := &Report{
-		Arch:      cat.Arch,
-		Intervals: intervals,
-		Groups:    groupCount(src),
-		FastMath:  s.cfg.FastMath,
-		Iters:     post.Iters,
-		Converged: post.Converged,
+		Arch:        cat.Arch,
+		Intervals:   intervals,
+		Groups:      groupCount(src),
+		FastMath:    s.cfg.FastMath,
+		Iters:       post.Iters,
+		Converged:   post.Converged,
+		Metrics:     s.obs,
+		TotalSweeps: post.Iters,
+	}
+	if !post.Converged {
+		rep.UnconvergedWindows = 1
 	}
 	var truth []float64
 	if ts, ok := src.(TruthSource); ok {
@@ -197,15 +211,18 @@ func (s *Session) streamReport(cat *Catalog, src Source, sched Scheduler,
 	res *stream.Result, dur time.Duration) (*Report, error) {
 
 	rep := &Report{
-		Arch:       cat.Arch,
-		Intervals:  res.Intervals,
-		Groups:     groupCount(src),
-		FastMath:   s.cfg.FastMath,
-		Windows:    res.Windows,
-		Duration:   dur,
-		Converged:  res.AllConverged,
-		Stream:     res,
-		PostRelStd: res.PostRelStd.Mean(),
+		Arch:               cat.Arch,
+		Intervals:          res.Intervals,
+		Groups:             groupCount(src),
+		FastMath:           s.cfg.FastMath,
+		Windows:            res.Windows,
+		Duration:           dur,
+		Converged:          res.AllConverged,
+		Stream:             res,
+		PostRelStd:         res.PostRelStd.Mean(),
+		Metrics:            s.obs,
+		UnconvergedWindows: res.Unconverged,
+		TotalSweeps:        res.TotalSweeps,
 	}
 	if ad, ok := sched.(*measure.AdaptiveScheduler); ok {
 		rep.SlotMoves = ad.Moves()
