@@ -1,0 +1,210 @@
+// Command bayesvet is BayesPerf's domain-specific static-analysis suite: it
+// encodes the pipeline's determinism, purity, and hot-path invariants as
+// lint rules and checks them on every code path of every package — the
+// static counterpart of the reference goldens, lane-invariance tests, and
+// 0-alloc bench gates, which can only catch a violation the moment a test
+// happens to execute it.
+//
+// Usage:
+//
+//	go run ./cmd/bayesvet ./...
+//	go run ./cmd/bayesvet -rules maporder,floateq ./internal/stream
+//
+// Rules (see internal/lint for the full documentation of each):
+//
+//	maporder      numeric/output packages must not let map iteration order
+//	              reach output (internal/graph, stream, measure, uarch,
+//	              timeseries, obs)
+//	kernelpurity  inference kernels (internal/graph) must be pure: no wall
+//	              clock, no math/rand, no package-level writes, no map
+//	              iteration
+//	floateq       no ==/!= on floats outside _test.go files and lines
+//	              annotated //bayesvet:bitwise
+//	hotalloc      functions annotated //bayesperf:hotpath must not allocate
+//	nilrecv       types annotated //bayesvet:nilsafe must nil-guard their
+//	              exported pointer-receiver methods
+//
+// Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on usage
+// or load/type-check errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/build"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bayesperf/internal/lint"
+)
+
+// scope maps each path-scoped rule to the module-relative package
+// directories it applies to; rules absent from the map (the
+// annotation-driven hotalloc and nilrecv, plus the everywhere-on floateq)
+// run on every package.
+var scope = map[string][]string{
+	"maporder": {
+		"internal/graph", "internal/stream", "internal/measure",
+		"internal/uarch", "internal/timeseries", "internal/obs",
+	},
+	"kernelpurity": {"internal/graph"},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("bayesvet", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	rules := fl.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	fl.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bayesvet [-rules r1,r2] [packages]\n\npatterns are directories, with the go-style /... suffix for recursion\n(testdata directories are skipped); default is ./...\n")
+		fl.PrintDefaults()
+	}
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "bayesvet: %v\n", err)
+		return 2
+	}
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "bayesvet: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "bayesvet: no Go packages matched %v\n", patterns)
+		return 2
+	}
+
+	loaders := make(map[string]*lint.Loader) // by module root
+	exit := 0
+	for _, dir := range dirs {
+		loader, err := loaderFor(loaders, dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "bayesvet: %v\n", err)
+			return 2
+		}
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "bayesvet: %v\n", err)
+			return 2
+		}
+		for _, d := range lint.RunAnalyzers(pkg, applicable(analyzers, pkg.Rel)) {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", relPos(d), d.Rule, d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// loaderFor returns the (cached) loader for the module containing dir.
+func loaderFor(loaders map[string]*lint.Loader, dir string) (*lint.Loader, error) {
+	probe, err := lint.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := loaders[probe.ModuleRoot]; ok {
+		return cached, nil
+	}
+	loaders[probe.ModuleRoot] = probe
+	return probe, nil
+}
+
+// applicable filters the requested analyzers down to those scoped to the
+// package's module-relative directory.
+func applicable(analyzers []*lint.Analyzer, rel string) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		dirs, scoped := scope[a.Name]
+		if !scoped {
+			out = append(out, a)
+			continue
+		}
+		for _, d := range dirs {
+			if rel == d || strings.HasPrefix(rel, d+"/") {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// expandPatterns resolves go-style package patterns (dir or dir/...) into
+// the list of directories containing buildable Go files, skipping testdata
+// and hidden/underscore directories.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		clean := filepath.Clean(dir)
+		if !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "" || pat == "..." {
+			base = "."
+			recursive = recursive || pat == "..."
+		}
+		if !recursive {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("no buildable Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one buildable non-test Go
+// file under the current build context.
+func hasGoFiles(dir string) bool {
+	bp, err := build.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// relPos renders a diagnostic position with the filename relative to the
+// working directory when possible.
+func relPos(d lint.Diagnostic) string {
+	pos := d.Pos
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+	}
+	return pos.String()
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const seedGoMod = "module seed\n\ngo 1.22\n"
+
+// writeTree materializes a throwaway module for the driver to analyze.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runBayesvet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestSeededViolations seeds one violation of each rule into a scratch
+// module and asserts the driver exits 1 naming that rule.
+func TestSeededViolations(t *testing.T) {
+	cases := []struct {
+		rule, path, src string
+	}{
+		{"maporder", "internal/stream/bad.go", `package stream
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`},
+		{"kernelpurity", "internal/graph/bad.go", `package graph
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`},
+		{"floateq", "pkg/bad.go", `package pkg
+
+func eq(a, b float64) bool { return a == b }
+`},
+		{"hotalloc", "pkg/bad.go", `package pkg
+
+//bayesperf:hotpath
+func hot(n int) []int { return make([]int, n) }
+`},
+		{"nilrecv", "pkg/bad.go", `package pkg
+
+//bayesvet:nilsafe
+type C struct{ n int }
+
+func (c *C) Add() { c.n++ }
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			dir := writeTree(t, map[string]string{"go.mod": seedGoMod, tc.path: tc.src})
+			code, out, errOut := runBayesvet(t, filepath.Join(dir, "..."))
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stdout %q, stderr %q)", code, out, errOut)
+			}
+			if !strings.Contains(out, tc.rule+": ") {
+				t.Fatalf("stdout %q does not name rule %s", out, tc.rule)
+			}
+		})
+	}
+}
+
+// TestScopedRulesIgnoreOutOfScopePackages: the same constructs that fire
+// inside internal/stream and internal/graph are legal in a package outside
+// the scoped directories.
+func TestScopedRulesIgnoreOutOfScopePackages(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": seedGoMod,
+		"pkg/free.go": `package pkg
+
+import "time"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stamp() time.Time { return time.Now() }
+`,
+	})
+	code, out, errOut := runBayesvet(t, filepath.Join(dir, "..."))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, out, errOut)
+	}
+}
+
+func TestRulesFlag(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": seedGoMod,
+		"internal/stream/bad.go": `package stream
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	if code, out, errOut := runBayesvet(t, "-rules", "floateq", filepath.Join(dir, "...")); code != 0 {
+		t.Fatalf("-rules floateq: exit %d, want 0 (stdout %q, stderr %q)", code, out, errOut)
+	}
+	if code, _, errOut := runBayesvet(t, "-rules", "bogus", filepath.Join(dir, "...")); code != 2 {
+		t.Fatalf("-rules bogus: exit %d, want 2 (stderr %q)", code, errOut)
+	}
+}
+
+// TestRepoTreeIsClean runs the full suite over this repository — the same
+// invocation CI gates on.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree")
+	}
+	code, out, errOut := runBayesvet(t, "../../...")
+	if code != 0 {
+		t.Fatalf("bayesvet over the repo tree: exit %d\nstdout:\n%sstderr:\n%s", code, out, errOut)
+	}
+}

@@ -320,14 +320,14 @@ func (c *checker) checkHistograms() {
 					break
 				}
 			}
-			if len(l.les) == 0 || l.les[len(l.les)-1] != infLE {
+			if len(l.les) == 0 || l.les[len(l.les)-1] != infLE { //bayesvet:bitwise le="+Inf" parses to exactly math.Inf(1)
 				c.errorf(l.line, "%s: bucket ladder missing le=\"+Inf\"", where)
 				continue
 			}
 			cnt, ok := counts[fam][key]
 			if !ok {
 				c.errorf(l.line, "%s: histogram missing _count series", where)
-			} else if cnt != l.counts[len(l.counts)-1] {
+			} else if cnt != l.counts[len(l.counts)-1] { //bayesvet:bitwise _count must equal the +Inf bucket exactly per the exposition format
 				c.errorf(l.line, "%s: _count %v != +Inf bucket %v", where, cnt, l.counts[len(l.counts)-1])
 			}
 		}

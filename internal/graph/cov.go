@@ -27,21 +27,29 @@ import (
 	"bayesperf/internal/uarch"
 )
 
+// ensureCovScratch sizes covD and covCD — per-(term,lane) scratch for the
+// current relation's cavity variance and coeff·variance — on first use;
+// steady-state extractions reuse them, which is what lets
+// extractCovariances carry the hotpath annotation.
+func (b *Batch) ensureCovScratch() {
+	if maxK := b.plan.maxCliqueSize(); len(b.covD) < maxK*b.lanes {
+		b.covD = make([]float64, maxK*b.lanes)
+		b.covCD = make([]float64, maxK*b.lanes)
+	}
+}
+
 // extractCovariances fills res.cov with every relation clique's posterior
 // covariance for every executed lane, in the lane's original (unscaled)
 // units.
+//
+//bayesperf:hotpath
 func (b *Batch) extractCovariances(res *BatchResult) {
 	p := b.plan
 	if !b.needCov || p.nCov == 0 {
 		return
 	}
 	n, B := res.n, b.stride
-	// covD and covCD are per-(term,lane) scratch for the current relation
-	// — cavity variance and coeff·variance — allocated once per Batch.
-	if maxK := p.maxCliqueSize(); len(b.covD) < maxK*b.lanes {
-		b.covD = make([]float64, maxK*b.lanes)
-		b.covCD = make([]float64, maxK*b.lanes)
-	}
+	b.ensureCovScratch()
 	d, cd := b.covD, b.covCD
 	denom := b.muJ[:n] // reuse Execute scratch: σ_r² + Σ c²·d per lane
 

@@ -49,6 +49,26 @@ import "math"
 // floor, matching natural.moments' guard.
 const maxVar = 1 / minPrec
 
+// ensureFastScratch sizes the scalar schedule's per-relation scratch and
+// the prev-belief slabs on first use (or after a wider plan); steady-state
+// sweeps reuse them, which is what lets sweepFast carry the hotpath
+// annotation.
+func (b *Batch) ensureFastScratch(maxK, nvB int) {
+	if len(b.fastWM) < maxK {
+		b.fastWM = make([]float64, maxK)
+		b.fastWV = make([]float64, maxK)
+		b.fastSM = make([]float64, maxK)
+		b.fastSV = make([]float64, maxK)
+		b.fastC = make([]float64, maxK)
+		b.fastRow = make([]int, maxK)
+		b.fastMsg = make([]int, maxK)
+	}
+	if len(b.prevP) < nvB {
+		b.prevP = make([]float64, nvB)
+		b.prevH = make([]float64, nvB)
+	}
+}
+
 // fastVecEnabled gates the AVX2 kernel at runtime: CPU support detected on
 // amd64 (fast_amd64.go), always false elsewhere. Tests flip it to exercise
 // the portable schedule on vector-capable hosts.
@@ -59,23 +79,13 @@ var fastVecEnabled = hasFastVec()
 // semantics as sweepExact. Lane posteriors are independent of n and of the
 // batch width, bit for bit (TestFastMathLaneInvariance) — the vector kernel
 // preserves this because its arithmetic is elementwise per lane.
+//
+//bayesperf:hotpath
 func (b *Batch) sweepFast(n, maxIter int, tol float64) {
 	p := b.plan
 	nv, B := p.nv, b.stride
 	maxK := p.maxCliqueSize()
-	if len(b.fastWM) < maxK {
-		b.fastWM = make([]float64, maxK)
-		b.fastWV = make([]float64, maxK)
-		b.fastSM = make([]float64, maxK)
-		b.fastSV = make([]float64, maxK)
-		b.fastC = make([]float64, maxK)
-		b.fastRow = make([]int, maxK)
-		b.fastMsg = make([]int, maxK)
-	}
-	if len(b.prevP) < nv*B {
-		b.prevP = make([]float64, nv*B)
-		b.prevH = make([]float64, nv*B)
-	}
+	b.ensureFastScratch(maxK, nv*B)
 	copy(b.prevP, b.beliefPrec)
 	copy(b.prevH, b.beliefH)
 
@@ -194,7 +204,7 @@ func (b *Batch) sweepFast(n, maxIter int, tol float64) {
 			}
 		}
 		for lane := range active {
-			if active[lane] && moved[lane] == 0 {
+			if active[lane] && moved[lane] == 0 { //bayesvet:bitwise moved is a 0/1 flag slab, assigned never computed
 				active[lane] = false
 				b.converged[lane] = true
 				b.iters[lane] = it

@@ -49,19 +49,29 @@ func fastConvAVX(bp, bh, pp, ph, mask, moved *float64, tol float64, nv int64, st
 // the vector kernel's activeMask slab.
 var laneMaskOn = math.Float64frombits(^uint64(0))
 
+// ensureVecScratch sizes the lane-mask slab and precomputed byte row
+// offsets on first use; steady-state vector sweeps reuse them, which is
+// what lets sweepFastVec carry the hotpath annotation.
+func (b *Batch) ensureVecScratch() {
+	p := b.plan
+	if len(b.activeMask) < b.stride {
+		b.activeMask = make([]float64, b.stride)
+		b.rowOff = make([]int64, p.nEdges)
+		for e := 0; e < p.nEdges; e++ {
+			b.rowOff[e] = int64(p.edgeVar[e]) * int64(b.stride) * 8
+		}
+	}
+}
+
 // sweepFastVec drives the AVX2 kernel: the Go side keeps the per-sweep loop
 // and the freeze bookkeeping (identical to the scalar schedule); the two
 // assembly routines do all lane math four lanes at a time.
+//
+//bayesperf:hotpath
 func (b *Batch) sweepFastVec(n, maxIter int, tol float64) {
 	p := b.plan
 	nv, B := p.nv, b.stride
-	if len(b.activeMask) < B {
-		b.activeMask = make([]float64, B)
-		b.rowOff = make([]int64, p.nEdges)
-		for e := 0; e < p.nEdges; e++ {
-			b.rowOff[e] = int64(p.edgeVar[e]) * int64(B) * 8
-		}
-	}
+	b.ensureVecScratch()
 	mask := b.activeMask[:B]
 	for lane := 0; lane < B; lane++ {
 		if lane < n {
@@ -98,7 +108,7 @@ func (b *Batch) sweepFastVec(n, maxIter int, tol float64) {
 			int64(nv), stride8, nVec,
 		)
 		for lane := range active {
-			if active[lane] && moved[lane] == 0 {
+			if active[lane] && moved[lane] == 0 { //bayesvet:bitwise moved is a 0/1 flag slab, assigned never computed
 				active[lane] = false
 				mask[lane] = 0
 				b.converged[lane] = true

@@ -325,6 +325,8 @@ func (r *BatchResult) Window(lane int) Result {
 // lane converges (and freezes) independently against the same per-window
 // criterion as Graph.Infer, so lane posteriors do not depend on n or on
 // which other windows share the batch.
+//
+//bayesperf:hotpath
 func (b *Batch) Execute(n, maxIter int, tol float64) *BatchResult {
 	return b.ExecuteInto(nil, n, maxIter, tol)
 }
@@ -335,6 +337,8 @@ func (b *Batch) Execute(n, maxIter int, tol float64) *BatchResult {
 // fresh result. The returned value is res (or the fresh result) and is
 // only valid until the next ExecuteInto call that reuses it; callers that
 // retain a lane's posterior copy it out first (Window does).
+//
+//bayesperf:hotpath
 func (b *Batch) ExecuteInto(res *BatchResult, n, maxIter int, tol float64) *BatchResult {
 	if n < 1 || n > b.lanes {
 		panic(fmt.Sprintf("graph: Execute of %d lanes on a %d-lane batch", n, b.lanes))
@@ -441,6 +445,8 @@ func (b *Batch) ExecuteInto(res *BatchResult, n, maxIter int, tol float64) *Batc
 // operation for operation, vectorized only across lanes. It is the golden
 // oracle the fast schedule is measured against and stays bit-identical to
 // the frozen reference implementation (reference_test.go).
+//
+//bayesperf:hotpath
 func (b *Batch) sweepExact(n, maxIter int, tol float64) {
 	p := b.plan
 	nv, B := p.nv, b.stride

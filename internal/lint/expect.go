@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Expectation-comment harness: testdata files mark the diagnostics they
+// expect with trailing comments of the form
+//
+//	someMapRange() // want "iteration over map"
+//	twoFindings()  // want "first regex" "second regex"
+//
+// Each quoted string is a regular expression matched against the
+// diagnostic's "rule: message" text on that line. CheckExpectations runs
+// the analyzers over a loaded package and returns one problem string per
+// unexpected diagnostic and per unmatched expectation — empty means the
+// package behaved exactly as annotated. (No -fix machinery: the suite only
+// reports.)
+
+// expectation is one parsed // want regex.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantMarker = regexp.MustCompile(`//\s*want\s`)
+
+// parseExpectations extracts every // want expectation from the package's
+// files.
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				loc := wantMarker.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[loc[1]:])
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s: malformed // want clause %q (expected quoted regexps)", pos, c.Text)
+					}
+					end := closingQuote(rest)
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated quote in // want clause %q", pos, c.Text)
+					}
+					lit := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad // want string %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad // want regexp %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						raw:  s,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// closingQuote returns the index of the unescaped closing quote of a Go
+// string literal starting at s[0] == '"', or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckExpectations runs the analyzers over the package and diffs the
+// findings against the package's // want comments. The returned problems
+// are empty iff every finding was expected and every expectation fired.
+func CheckExpectations(pkg *Package, analyzers []*Analyzer) []string {
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for _, d := range RunAnalyzers(pkg, analyzers) {
+		text := d.Rule + ": " + d.Message
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(text) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s", d.Pos, text))
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			problems = append(problems, fmt.Sprintf("expected diagnostic did not fire at %s:%d: %q", e.file, e.line, e.raw))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands outside _test.go
+// files. Exact float equality is almost always a bug waiting for a rounding
+// change — but this codebase also *deliberately* pins bitwise determinism
+// (reference goldens, lane invariance) and uses exact-zero sentinel
+// compares on values that are assigned, never computed. Those stay legal
+// behind a //bayesvet:bitwise annotation on the comparison's line (or the
+// line above); anything unannotated is a finding.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no tolerance-free floating-point ==/!= outside tests and //bayesvet:bitwise lines",
+	Run:  runFloatEq,
+}
+
+const bitwiseDirective = "bayesvet:bitwise"
+
+func runFloatEq(p *Pass) {
+	for _, file := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info, be.X) && !isFloat(p.Info, be.Y) {
+				return true
+			}
+			// Two constants compare exactly by definition.
+			if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+				return true
+			}
+			if p.Annotated(file, be.Pos(), bitwiseDirective) {
+				return true
+			}
+			p.Report(be.Pos(), "tolerance-free floating-point %s comparison; compare |a-b| against a tolerance, or annotate with //%s <reason> for a deliberate bitwise or sentinel compare", be.Op, bitwiseDirective)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e's type is (or is named with underlying)
+// float32/float64.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc turns the benchmark suite's 0 allocs/op gates into a static
+// check: a function annotated //bayesperf:hotpath must contain no
+// allocating construct on its live path. Flagged inside annotated
+// functions:
+//
+//   - make, new, and &composite-literal expressions
+//   - slice and map literals (value struct literals stay legal: they live
+//     in registers or on the stack)
+//   - append (growth allocates; pre-size buffers outside the hot path)
+//   - closures (func literals capture by reference and usually escape)
+//   - fmt.* calls (formatting allocates; build messages off the hot path)
+//   - string([]byte) / []byte(string) style conversions
+//   - boxing a non-pointer concrete value into an interface parameter
+//
+// Guard blocks that end in panic are cold paths (they run once, on a
+// programming error) and are exempt, which keeps the argument-validation
+// idiom legal inside hot functions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//bayesperf:hotpath functions must not allocate on the live path",
+	Run:  runHotAlloc,
+}
+
+const hotpathDirective = "bayesperf:hotpath"
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !DocHasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			w := &hotWalker{pass: p, fn: fd.Name.Name}
+			w.block(fd.Body)
+		}
+	}
+}
+
+// hotWalker walks an annotated function's live path, skipping if-blocks
+// that terminate in panic.
+type hotWalker struct {
+	pass *Pass
+	fn   string
+}
+
+func (w *hotWalker) block(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		w.stmt(stmt)
+	}
+}
+
+func (w *hotWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.expr(st.Cond)
+		if !endsInPanic(st.Body) {
+			w.block(st.Body)
+		}
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			if !endsInPanic(e) {
+				w.block(e)
+			}
+		case *ast.IfStmt:
+			w.stmt(e)
+		}
+	case *ast.BlockStmt:
+		w.block(st)
+	case nil:
+	default:
+		ast.Inspect(s, w.visit)
+	}
+}
+
+func (w *hotWalker) expr(e ast.Expr) {
+	if e != nil {
+		ast.Inspect(e, w.visit)
+	}
+}
+
+// visit is the per-node check used for every non-if statement; nested if
+// statements inside them are re-dispatched through stmt so their cold
+// branches stay exempt.
+func (w *hotWalker) visit(n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.IfStmt:
+		w.stmt(e)
+		return false
+	case *ast.FuncLit:
+		w.pass.Report(e.Pos(), "hotpath %s: closure literal allocates (captures escape); hoist it out of the hot path", w.fn)
+		return false
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok {
+			w.pass.Report(e.Pos(), "hotpath %s: &composite literal escapes to the heap", w.fn)
+			// Still check the literal's elements for nested allocation.
+			for _, el := range cl.Elts {
+				w.expr(el)
+			}
+			return false
+		}
+	case *ast.CompositeLit:
+		tv, ok := w.pass.Info.Types[e]
+		if ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				w.pass.Report(e.Pos(), "hotpath %s: slice literal allocates; reuse a pre-sized buffer", w.fn)
+			case *types.Map:
+				w.pass.Report(e.Pos(), "hotpath %s: map literal allocates; build maps outside the hot path", w.fn)
+			}
+		}
+	case *ast.CallExpr:
+		w.call(e)
+		return false
+	}
+	return true
+}
+
+func (w *hotWalker) call(call *ast.CallExpr) {
+	// Arguments are checked regardless of what the callee is.
+	for _, arg := range call.Args {
+		w.expr(arg)
+	}
+	w.expr(call.Fun)
+
+	info := w.pass.Info
+	switch {
+	case isBuiltin(info, call.Fun, "make"):
+		w.pass.Report(call.Pos(), "hotpath %s: make allocates; size buffers once outside the hot path", w.fn)
+		return
+	case isBuiltin(info, call.Fun, "new"):
+		w.pass.Report(call.Pos(), "hotpath %s: new allocates", w.fn)
+		return
+	case isBuiltin(info, call.Fun, "append"):
+		w.pass.Report(call.Pos(), "hotpath %s: append may grow and allocate; pre-size the buffer outside the hot path", w.fn)
+		return
+	}
+
+	// Conversions: string<->[]byte/[]rune copy, and conversion to an
+	// interface type boxes.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := types.Type(nil)
+		if atv, ok := info.Types[call.Args[0]]; ok {
+			src = atv.Type
+		}
+		if src != nil {
+			if b, ok := dst.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				if _, isSlice := src.Underlying().(*types.Slice); isSlice {
+					w.pass.Report(call.Pos(), "hotpath %s: string(bytes) conversion copies and allocates", w.fn)
+				}
+			}
+			if _, ok := dst.(*types.Slice); ok {
+				if b, ok := src.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.pass.Report(call.Pos(), "hotpath %s: []byte(string) conversion copies and allocates", w.fn)
+				}
+			}
+			if _, ok := dst.(*types.Interface); ok {
+				if !isPointerLike(src) {
+					w.pass.Report(call.Pos(), "hotpath %s: conversion to interface boxes the value and may allocate", w.fn)
+				}
+			}
+		}
+		return
+	}
+
+	// fmt.* formats and allocates.
+	if pkg, name := calleePkgFunc(info, call); pkg == "fmt" {
+		w.pass.Report(call.Pos(), "hotpath %s: fmt.%s formats and allocates; record raw values and format off the hot path", w.fn, name)
+		return
+	}
+
+	// Interface boxing through call arguments.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through: no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if _, argIface := atv.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if !isPointerLike(atv.Type) {
+			w.pass.Report(arg.Pos(), "hotpath %s: non-pointer value boxed into interface parameter may allocate", w.fn)
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		w.pass.Report(call.Pos(), "hotpath %s: variadic call builds an argument slice; use a fixed-arity helper on the hot path", w.fn)
+	}
+}
+
+// isPointerLike reports whether storing a value of type t in an interface
+// avoids a heap allocation (pointers, channels, maps, funcs, unsafe
+// pointers — single-word reference types).
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// endsInPanic reports whether the block's last statement is a call to the
+// predeclared panic — the cold guard idiom.
+func endsInPanic(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	es, ok := b.List[len(b.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder guards the pipeline's bit-identical-output promise against Go's
+// randomized map iteration order: in numeric and output-producing packages
+// (the driver scopes it to internal/graph, stream, measure, uarch,
+// timeseries, and obs), ranging over a map is flagged unless the iteration
+// provably cannot leak order into any output:
+//
+//   - the loop collects keys (or values) into a slice that is subsequently
+//     sorted in the same function, or
+//   - every statement in the loop body only writes into maps (a keyed copy
+//     is order-insensitive by construction), or
+//   - the loop carries a //bayesvet:maporder annotation stating why order
+//     cannot affect output.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not be able to reach numeric or encoded output",
+	Run:  runMapOrder,
+}
+
+const mapOrderDirective = "bayesvet:maporder"
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if p.Annotated(file, rs.Pos(), mapOrderDirective) {
+					return true
+				}
+				if mapWritesOnly(p.Info, rs.Body) {
+					return true
+				}
+				if keysSortedAfter(p.Info, fd.Body, rs) {
+					return true
+				}
+				p.Report(rs.Pos(), "iteration over map is nondeterministically ordered; collect and sort the keys first, or annotate with //%s <reason> if order provably cannot affect output", mapOrderDirective)
+				return true
+			})
+		}
+	}
+}
+
+// mapWritesOnly reports whether every statement in the loop body is an
+// assignment whose left-hand sides are all index expressions into maps (a
+// keyed map-to-map copy), or a delete on a map — both order-insensitive.
+func mapWritesOnly(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN {
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				tv, ok := info.Types[ix.X]
+				if !ok || tv.Type == nil {
+					return false
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call.Fun, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// keysSortedAfter reports whether the loop body appends into a slice that a
+// sort.* (or slices.*) call later in the enclosing function operates on —
+// the collect-keys-then-sort idiom.
+func keysSortedAfter(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	// Slices appended to inside the loop body.
+	targets := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call.Fun, "append") {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					targets[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return false
+	}
+	// A sort call after the loop whose arguments mention one of them.
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(info, arg, targets) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isBuiltin reports whether fun is a use of the named predeclared function.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// exprMentions reports whether any identifier inside e resolves to one of
+// the given objects.
+func exprMentions(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

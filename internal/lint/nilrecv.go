@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilRecv enforces the metrics-off-costs-nothing contract: a type annotated
+// //bayesvet:nilsafe (the obs instruments — Counter, Gauge, Histogram)
+// promises that every exported pointer-receiver method is a free no-op on a
+// nil receiver. Statically that means each such method must either
+//
+//   - begin with an `if recv == nil { ... return }` guard, or
+//   - consist of a single statement delegating to another method on the
+//     same receiver (e.g. Inc() calling Add(1)), which the rule then holds
+//     to the same contract.
+//
+// Value-receiver methods cannot observe a nil receiver and are exempt.
+var NilRecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "//bayesvet:nilsafe types' exported pointer-receiver methods must guard nil receivers",
+	Run:  runNilRecv,
+}
+
+const nilsafeDirective = "bayesvet:nilsafe"
+
+func runNilRecv(p *Pass) {
+	annotated := nilsafeTypes(p)
+	if len(annotated) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv, tname := pointerRecv(p.Info, fd)
+			if tname == nil || !annotated[tname] {
+				continue
+			}
+			if recv == nil {
+				p.Report(fd.Pos(), "exported method (*%s).%s has an unnamed receiver: name it and guard `if recv == nil`", tname.Name(), fd.Name.Name)
+				continue
+			}
+			if startsWithNilGuard(p.Info, fd.Body, recv) || delegatesToReceiver(p.Info, fd.Body, recv) {
+				continue
+			}
+			p.Report(fd.Pos(), "exported method (*%s).%s must begin with `if %s == nil` (nilsafe contract: recording on a nil instrument is a free no-op) or delegate to a guarded method on %s", tname.Name(), fd.Name.Name, recv.Name(), recv.Name())
+		}
+	}
+}
+
+// nilsafeTypes collects the package's type names annotated
+// //bayesvet:nilsafe (on the type spec's or its decl group's doc comment).
+func nilsafeTypes(p *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !DocHasDirective(ts.Doc, nilsafeDirective) &&
+					!(len(gd.Specs) == 1 && DocHasDirective(gd.Doc, nilsafeDirective)) {
+					continue
+				}
+				if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pointerRecv resolves a method's receiver when it is a pointer to a named
+// type, returning the receiver variable (nil when unnamed or blank) and the
+// type name (nil for value receivers).
+func pointerRecv(info *types.Info, fd *ast.FuncDecl) (*types.Var, *types.TypeName) {
+	if len(fd.Recv.List) != 1 {
+		return nil, nil
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	} else {
+		return nil, nil // value receiver: cannot be nil
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	tn, ok := info.ObjectOf(id).(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return nil, tn
+	}
+	v, _ := info.Defs[field.Names[0]].(*types.Var)
+	return v, tn
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if recv == nil { ... return... }` — possibly as one disjunct of an ||
+// chain (`if h == nil || math.IsNaN(v) { return }` guards both) — with the
+// guard block ending in a return.
+func startsWithNilGuard(info *types.Info, body *ast.BlockStmt, recv *types.Var) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condHasNilCheck(info, ifs.Cond, recv) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condHasNilCheck reports whether cond is `recv == nil` (either operand
+// order) or an || chain with such a disjunct.
+func condHasNilCheck(info *types.Info, cond ast.Expr, recv *types.Var) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condHasNilCheck(info, e.X, recv)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condHasNilCheck(info, e.X, recv) || condHasNilCheck(info, e.Y, recv)
+		case token.EQL:
+			return (isRecvIdent(info, e.X, recv) && isNilIdent(info, e.Y)) ||
+				(isNilIdent(info, e.X) && isRecvIdent(info, e.Y, recv))
+		}
+	}
+	return false
+}
+
+// delegatesToReceiver reports whether the body is a single statement whose
+// only action is calling a method on the receiver (possibly returning its
+// results) — the Inc-calls-Add idiom, which inherits the callee's guard.
+func delegatesToReceiver(info *types.Info, body *ast.BlockStmt, recv *types.Var) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isRecvIdent(info, sel.X, recv)
+}
+
+func isRecvIdent(info *types.Info, e ast.Expr, recv *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && info.ObjectOf(id) == recv
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}

@@ -1,0 +1,40 @@
+// Package floateq exercises the floateq rule: no tolerance-free
+// floating-point ==/!= outside tests and annotated lines.
+package floateq
+
+func bad(a, b float64) bool {
+	return a == b // want "tolerance-free floating-point =="
+}
+
+func badNeq(a float64) bool {
+	return a != 0 // want "tolerance-free floating-point !="
+}
+
+func badF32(a, b float32) bool {
+	return a == b // want "tolerance-free floating-point =="
+}
+
+func annotatedAbove(std float64) bool {
+	//bayesvet:bitwise std is assigned zero, never computed
+	return std == 0
+}
+
+func annotatedSameLine(std float64) bool {
+	return std == 0 //bayesvet:bitwise sentinel
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func constants() bool {
+	return 0.1 == 0.3 // two constants compare exactly by definition: exempt
+}
+
+func toleranced(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

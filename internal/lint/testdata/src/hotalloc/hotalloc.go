@@ -1,0 +1,105 @@
+// Package hotalloc exercises the hotalloc rule: //bayesperf:hotpath
+// functions must not allocate on the live path.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+type buf struct {
+	s []float64
+}
+
+func sink(v interface{}) { _ = v }
+
+func variadic(vs ...int) {}
+
+//bayesperf:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//bayesperf:hotpath
+func hotNew() *point {
+	return new(point) // want "new allocates"
+}
+
+//bayesperf:hotpath
+func hotAppend(b *buf, v float64) {
+	b.s = append(b.s, v) // want "append may grow"
+}
+
+//bayesperf:hotpath
+func hotPtrLit() *point {
+	return &point{1, 2} // want "composite literal escapes"
+}
+
+//bayesperf:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//bayesperf:hotpath
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal allocates"
+}
+
+//bayesperf:hotpath
+func hotClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want "closure literal allocates"
+}
+
+//bayesperf:hotpath
+func hotFmt(v float64) {
+	fmt.Println(v) // want "fmt.Println formats and allocates"
+}
+
+//bayesperf:hotpath
+func hotBox(x point) {
+	sink(x) // want "boxed into interface parameter"
+}
+
+//bayesperf:hotpath
+func hotVariadic(a, b int) {
+	variadic(a, b) // want "variadic call builds an argument slice"
+}
+
+//bayesperf:hotpath
+func hotString(b []byte) string {
+	return string(b) // want "conversion copies and allocates"
+}
+
+//bayesperf:hotpath
+func hotBytes(s string) []byte {
+	return []byte(s) // want "conversion copies and allocates"
+}
+
+// hotValueLit returns a value struct literal: stack-allocated, legal.
+//
+//bayesperf:hotpath
+func hotValueLit(a, b float64) point {
+	return point{a, b}
+}
+
+// hotGuarded validates with a panic guard: cold path, exempt.
+//
+//bayesperf:hotpath
+func hotGuarded(b *buf, i int) float64 {
+	if i >= len(b.s) {
+		panic(fmt.Sprintf("hotalloc: index %d out of range", i))
+	}
+	return b.s[i]
+}
+
+// hotPointerSink passes a pointer into an interface: no boxing allocation.
+//
+//bayesperf:hotpath
+func hotPointerSink(p *point) {
+	sink(p)
+}
+
+// coldMake is unannotated: allocations are legal.
+func coldMake(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,54 @@
+// Package kernelpurity exercises the kernelpurity rule: inference kernels
+// must be pure functions of their inputs.
+package kernelpurity
+
+import (
+	"math/rand" // want "kernel imports math/rand"
+	"time"
+)
+
+var state int
+
+var table = map[string]int{"a": 1}
+
+func impureRand() int {
+	return rand.Int()
+}
+
+func impureClock() time.Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+func impureSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "reads the wall clock"
+}
+
+func pureDuration(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func impureWrite(x int) {
+	state = x // want "writes package-level state"
+}
+
+func impureInc() {
+	state++ // want "writes package-level state"
+}
+
+func impureMapRange() int {
+	s := 0
+	for _, v := range table { // want "iterates over a map"
+		s += v
+	}
+	return s
+}
+
+func pureLocal(x int) int {
+	local := x
+	local++
+	return local
+}
+
+func init() {
+	state = 1 // writes in init run once, before any kernel: legal
+}

@@ -1,0 +1,51 @@
+// Package maporder exercises the maporder rule: ranging over a map must
+// not let Go's randomized iteration order reach any output.
+package maporder
+
+import "sort"
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keyedCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func keyedDelete(dst map[string]int, src map[string]bool) {
+	for k := range src {
+		delete(dst, k)
+	}
+}
+
+func annotated(m map[string]int) int {
+	sum := 0
+	//bayesvet:maporder integer summation is commutative and associative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+// Package nilrecv exercises the nilrecv rule: //bayesvet:nilsafe types'
+// exported pointer-receiver methods must guard nil receivers.
+package nilrecv
+
+import "math"
+
+//bayesvet:nilsafe
+type Counter struct {
+	n uint64
+	v float64
+}
+
+// Add is guarded: clean.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+
+// Inc delegates to a guarded method on the same receiver: clean.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Observe guards through an || chain: clean.
+func (c *Counter) Observe(v float64) {
+	if c == nil || math.IsNaN(v) {
+		return
+	}
+	c.v += v
+}
+
+// Value guards with a reversed operand order: clean.
+func (c *Counter) Value() uint64 {
+	if nil == c {
+		return 0
+	}
+	return c.n
+}
+
+func (c *Counter) Bad() { // want "must begin with"
+	c.n++
+}
+
+func (c *Counter) BadLateGuard() { // want "must begin with"
+	c.n++
+	if c == nil {
+		return
+	}
+}
+
+// reset is unexported: exempt.
+func (c *Counter) reset() { c.n = 0 }
+
+// Snapshot has a value receiver, which cannot be nil: exempt.
+func (c Counter) Snapshot() uint64 { return c.n }
+
+// Plain is unannotated: its methods are exempt.
+type Plain struct{ n int }
+
+func (p *Plain) Bump() { p.n++ }

@@ -313,7 +313,7 @@ func EstimateSample(xs []float64, intervals int, cfg MuxConfig) Sample {
 	if floor := cfg.StdFloorFrac * math.Abs(total); std < floor {
 		std = floor
 	}
-	if std == 0 {
+	if std == 0 { //bayesvet:bitwise exact-zero sentinel for an all-zero event
 		std = 1 // all-zero event: unit count uncertainty
 	}
 	return Sample{Total: total, Std: std, N: counted, Rejected: rejected}

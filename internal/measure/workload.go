@@ -7,6 +7,7 @@ package measure
 
 import (
 	"fmt"
+	"sort"
 
 	"bayesperf/internal/rng"
 	"bayesperf/internal/timeseries"
@@ -227,12 +228,15 @@ func eventValue(ev uarch.Event, p primitives) float64 {
 		s += coeff * v
 	}
 	if matched != len(ev.Model) {
+		var unknown []string
 		for name := range ev.Model {
 			if _, ok := primValue(name, p); !ok {
-				panic(fmt.Sprintf("measure: event %q model references unknown primitive %q (known: %v)",
-					ev.Name, name, primOrder))
+				unknown = append(unknown, name)
 			}
 		}
+		sort.Strings(unknown)
+		panic(fmt.Sprintf("measure: event %q model references unknown primitives %q (known: %v)",
+			ev.Name, unknown, primOrder))
 	}
 	return s
 }
@@ -245,11 +249,16 @@ func ValidateModels(cat *uarch.Catalog) error {
 		if len(ev.Model) == 0 {
 			return fmt.Errorf("measure: %s: event %s declares no ground-truth model", cat.Arch, ev.Name)
 		}
+		var unknown []string
 		for name := range ev.Model {
 			if _, ok := primValue(name, primitives{}); !ok {
-				return fmt.Errorf("measure: %s: event %s references unknown primitive %q (known: %v)",
-					cat.Arch, ev.Name, name, primOrder)
+				unknown = append(unknown, name)
 			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return fmt.Errorf("measure: %s: event %s references unknown primitives %q (known: %v)",
+				cat.Arch, ev.Name, unknown, primOrder)
 		}
 	}
 	return nil

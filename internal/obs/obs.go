@@ -267,12 +267,16 @@ func (r *Registry) instruments() []instrument {
 }
 
 // Counter is a monotonically increasing uint64, safe for concurrent use.
+//
+//bayesvet:nilsafe
 type Counter struct {
 	d desc
 	v atomic.Uint64
 }
 
 // Add increments the counter by n. No-op on a nil counter.
+//
+//bayesperf:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -281,6 +285,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
+//
+//bayesperf:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil counter).
@@ -295,12 +301,16 @@ func (c *Counter) describe() *desc { return &c.d }
 func (c *Counter) kindOf() kind    { return counterKind }
 
 // Gauge is a float64 that can go up and down, safe for concurrent use.
+//
+//bayesvet:nilsafe
 type Gauge struct {
 	d    desc
 	bits atomic.Uint64
 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//bayesperf:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -309,6 +319,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adds v to the gauge (CAS loop). No-op on a nil gauge.
+//
+//bayesperf:hotpath
 func (g *Gauge) Add(v float64) {
 	if g == nil {
 		return
@@ -337,6 +349,8 @@ func (g *Gauge) kindOf() kind    { return gaugeKind }
 // semantics: bucket i holds v ≤ bounds[i], the last bucket is +Inf) and
 // accumulates their sum. Observing is two atomic adds plus a short
 // predictable scan over the bounds — no locks, no allocation.
+//
+//bayesvet:nilsafe
 type Histogram struct {
 	d      desc
 	bounds []float64
@@ -346,6 +360,8 @@ type Histogram struct {
 
 // Observe records one value. NaN observations are dropped (they have no
 // bucket and would poison the sum). No-op on a nil histogram.
+//
+//bayesperf:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
@@ -398,6 +414,8 @@ type Span struct {
 }
 
 // StartSpan begins a timed span recording into h on End.
+//
+//bayesperf:hotpath
 func StartSpan(h *Histogram) Span {
 	if h == nil {
 		return Span{}
@@ -406,6 +424,8 @@ func StartSpan(h *Histogram) Span {
 }
 
 // End stops the span and records its duration in seconds.
+//
+//bayesperf:hotpath
 func (s Span) End() {
 	if s.h != nil {
 		s.h.Observe(time.Since(s.start).Seconds())

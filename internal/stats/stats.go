@@ -160,7 +160,7 @@ func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 // NormalPDF returns the density of N(mean, std²) at x.
 func NormalPDF(x, mean, std float64) float64 {
 	if std <= 0 {
-		if x == mean {
+		if x == mean { //bayesvet:bitwise degenerate zero-variance point mass: density is exactly at the mean or nowhere
 			return math.Inf(1)
 		}
 		return 0
@@ -174,7 +174,7 @@ func NormalPDF(x, mean, std float64) float64 {
 // mean, -Inf elsewhere) instead of NaN/±Inf garbage from the division.
 func NormalLogPDF(x, mean, std float64) float64 {
 	if std <= 0 {
-		if x == mean {
+		if x == mean { //bayesvet:bitwise degenerate zero-variance point mass: density is exactly at the mean or nowhere
 			return math.Inf(1)
 		}
 		return math.Inf(-1)
@@ -258,7 +258,7 @@ func StudentTCDF(x, nu float64) float64 {
 	if nu <= 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x == 0 { //bayesvet:bitwise exact symmetry point of the t CDF
 		return 0.5
 	}
 	ib := RegIncBeta(nu/2, 0.5, nu/(nu+x*x))

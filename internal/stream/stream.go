@@ -492,7 +492,7 @@ func (e *Engine) Ingest(s measure.IntervalSample) {
 		if floor := e.cfg.Mux.StdFloorFrac * v; sv < floor {
 			sv = floor
 		}
-		if sv == 0 {
+		if sv == 0 { //bayesvet:bitwise exact-zero sentinel: std was assigned zero, never computed
 			sv = 1 // zero reading: unit count uncertainty
 		}
 		wv := 1 / (sv * sv)
@@ -625,6 +625,8 @@ func predictivePrec(rateStd, disp float64) float64 {
 
 // stitchRaw folds one window's uncorrected observations into the windowed
 // raw baseline, weighted by predictive precision.
+//
+//bayesperf:hotpath
 func (e *Engine) stitchRaw(job windowJob) {
 	w := float64(job.end - job.start)
 	tri := e.triKernel(job.start, job.end)
@@ -650,6 +652,8 @@ func (e *Engine) stitchRaw(job windowJob) {
 // posterior stds of overlapping windows are correlated, so they are
 // reported, not used as weights): raw and corrected then differ only in
 // the estimate each window contributes.
+//
+//bayesperf:hotpath
 func (e *Engine) stitchCorrected(r WindowPosterior) {
 	w := float64(r.End - r.Start)
 	e.converged = e.converged && r.Converged

@@ -22,6 +22,7 @@ type eventRing struct {
 	ssd  float64
 }
 
+//bayesperf:hotpath
 func (e *eventRing) push(x float64) {
 	if e.n > 0 {
 		d := x - e.buf[(e.head+e.n-1)%len(e.buf)]
@@ -33,6 +34,7 @@ func (e *eventRing) push(x float64) {
 	e.sq += x * x
 }
 
+//bayesperf:hotpath
 func (e *eventRing) pop() {
 	first := e.buf[e.head]
 	if e.n > 1 {
@@ -110,6 +112,8 @@ func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 // Inf − Inf = NaN behind — would permanently poison the running sums long
 // after the reading itself slid out of the window. The skip is mirrored
 // on the eviction side so push/pop stay symmetric.
+//
+//bayesperf:hotpath
 func (w *Window) Push(s measure.IntervalSample) {
 	if w.n == w.size {
 		old := w.samples[w.head]
@@ -234,7 +238,7 @@ func (w *Window) snapshot(index int, mux measure.MuxConfig) windowJob {
 		if floor := mux.StdFloorFrac * math.Abs(mean); disp < floor {
 			disp = floor
 		}
-		if disp == 0 {
+		if disp == 0 { //bayesvet:bitwise exact-zero sentinel for a constant window
 			disp = 1 // all-zero event: unit count dispersion
 		}
 		switch {
@@ -253,7 +257,7 @@ func (w *Window) snapshot(index int, mux measure.MuxConfig) windowJob {
 		if floor := mux.StdFloorFrac * math.Abs(total); std < floor {
 			std = floor
 		}
-		if std == 0 {
+		if std == 0 { //bayesvet:bitwise exact-zero sentinel for a constant window
 			std = 1 // all-zero event: unit count uncertainty
 		}
 		job.obsMean[id] = total

@@ -141,7 +141,7 @@ func (s Spec) Catalog() (*Catalog, error) {
 				return nil, fmt.Errorf("uarch: spec %s: ratio derived %s needs 2 inputs, has %d", s.Arch, d.Name, len(inputs))
 			}
 			scale := d.Scale
-			if scale == 0 {
+			if scale == 0 { //bayesvet:bitwise exact zero means scale omitted in JSON; default to 1
 				scale = 1
 			}
 			c.Derived = append(c.Derived, newRatioDerived(d.Name, d.Desc, inputs[0], inputs[1], scale))
@@ -215,7 +215,7 @@ func (c *Catalog) Spec() (Spec, error) {
 			return Spec{}, fmt.Errorf("uarch: %s: derived %s is a hand-written closure and cannot be expressed as a spec", c.Arch, d.Name)
 		}
 		ds := DerivedSpec{Name: d.Name, Kind: d.Kind, Scale: d.Scale, Desc: d.Desc}
-		if d.Kind == KindRatio && ds.Scale == 1 {
+		if d.Kind == KindRatio && ds.Scale == 1 { //bayesvet:bitwise scale 1 is the canonical no-op, stored exactly; omit from JSON
 			ds.Scale = 0 // omitted in JSON; Catalog() defaults it back to 1
 		}
 		ds.Num = append([]float64(nil), d.Num...)

@@ -337,3 +337,31 @@ func TestValidateModels(t *testing.T) {
 		t.Errorf("unknown primitive not caught: %v", err)
 	}
 }
+
+// TestValidateModelsErrorIsDeterministic: with several unknown primitives in
+// one model, the error must list all of them in sorted order rather than
+// naming whichever one map iteration yields first (found by bayesvet's
+// maporder rule).
+func TestValidateModelsErrorIsDeterministic(t *testing.T) {
+	spec, _ := uarch.Lookup("skylake")
+	spec.Events = append([]uarch.EventSpec(nil), spec.Events...)
+	spec.Events[0].Model = map[string]float64{
+		"zeta_flux": 1, "alpha_flux": 1, "mid_flux": 1,
+	}
+	cat, err := spec.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := measure.ValidateModels(cat)
+	if first == nil {
+		t.Fatal("unknown primitives not caught")
+	}
+	if !strings.Contains(first.Error(), `"alpha_flux" "mid_flux" "zeta_flux"`) {
+		t.Errorf("error does not list the unknown primitives in sorted order: %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		if err := measure.ValidateModels(cat); err.Error() != first.Error() {
+			t.Fatalf("error message is nondeterministic:\n%v\n%v", first, err)
+		}
+	}
+}

@@ -234,7 +234,7 @@ func (d *Derived) PropagateStdCov(in, std []float64, corr func(i, j int) float64
 					continue
 				}
 				rho := corr(i, j)
-				if rho == 0 || math.IsNaN(rho) {
+				if rho == 0 || math.IsNaN(rho) { //bayesvet:bitwise corrFn returns exact 0 for untracked pairs; skip the term
 					continue
 				}
 				if rho > 1 {
@@ -327,7 +327,7 @@ func (c *Catalog) derivedLinear(name, desc string, inputs []EventID, num, den []
 // Unknown names panic: the builder catalogs call this at construction time
 // only, so a typo fails loudly in every test.
 func (c *Catalog) setModels(models map[string]map[string]float64) {
-	for name, m := range models {
+	for name, m := range models { //bayesvet:maporder each iteration writes a distinct slice index keyed by event name; order-insensitive
 		c.Events[c.MustEvent(name)].Model = m
 	}
 }
@@ -450,7 +450,7 @@ func (c *Catalog) Validate() error {
 			if t.Event < 0 || int(t.Event) >= len(c.Events) {
 				return fmt.Errorf("uarch: %s: relation %s references unknown event %d", c.Arch, r.Name, t.Event)
 			}
-			if t.Coeff == 0 {
+			if t.Coeff == 0 { //bayesvet:bitwise validation rejects an exactly-zero coefficient, which the spec assigns
 				return fmt.Errorf("uarch: %s: relation %s has zero coefficient", c.Arch, r.Name)
 			}
 		}
@@ -470,7 +470,7 @@ func (c *Catalog) Validate() error {
 			if len(d.Inputs) != 2 {
 				return fmt.Errorf("uarch: %s: ratio derived %s needs 2 inputs, has %d", c.Arch, d.Name, len(d.Inputs))
 			}
-			if d.Scale == 0 {
+			if d.Scale == 0 { //bayesvet:bitwise validation rejects an exactly-zero scale, which the spec assigns
 				return fmt.Errorf("uarch: %s: ratio derived %s has zero scale", c.Arch, d.Name)
 			}
 		case KindLinearRatio:
@@ -521,7 +521,7 @@ func loCtr(k int) uint { return uint(1)<<uint(k) - 1 }
 func oneCtr(i int) uint { return uint(1) << uint(i) }
 
 func safeDiv(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 { //bayesvet:bitwise guard against exact-zero denominator
 		return 0
 	}
 	return a / b
@@ -534,7 +534,7 @@ func safeDiv(a, b float64) float64 {
 func ratioGrad(k float64) func(in []float64) []float64 {
 	return func(in []float64) []float64 {
 		a, b := in[0], in[1]
-		if b == 0 {
+		if b == 0 { //bayesvet:bitwise guard against exact-zero denominator
 			return []float64{0, 0}
 		}
 		return []float64{k / b, -k * a / (b * b)}
