@@ -9,6 +9,7 @@
 //
 //	go run ./cmd/bayesvet ./...
 //	go run ./cmd/bayesvet -rules maporder,floateq ./internal/stream
+//	go run ./cmd/bayesvet -format github -stats ./...
 //
 // Rules (see internal/lint for the full documentation of each):
 //
@@ -23,12 +24,28 @@
 //	hotalloc      functions annotated //bayesperf:hotpath must not allocate
 //	nilrecv       types annotated //bayesvet:nilsafe must nil-guard their
 //	              exported pointer-receiver methods
+//	locksafe      lock-set dataflow over each function's CFG: no lock leaked
+//	              to a return, no double Lock / RLock-Lock mixing, no
+//	              Unlock/RUnlock mismatch, no copied locks (concurrency
+//	              packages)
+//	atomicmix     a variable accessed via sync/atomic must never be accessed
+//	              plainly (concurrency packages)
+//	wgdiscipline  WaitGroup.Add must precede the go statement it gates; no
+//	              Wait while a lock is held (concurrency packages)
+//	blockinglock  no blocking channel ops, Wait, or nested Lock while a
+//	              mutex is held (concurrency packages)
+//
+// Output formats (-format): "text" (default) prints one finding per line;
+// "json" prints a machine-readable array; "github" prints GitHub Actions
+// ::error workflow annotations so CI findings land inline on PRs. -stats
+// prints per-rule finding counts and analysis wall time to stderr.
 //
 // Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on usage
 // or load/type-check errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/build"
@@ -37,6 +54,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"bayesperf/internal/lint"
 )
@@ -51,6 +70,18 @@ var scope = map[string][]string{
 		"internal/uarch", "internal/timeseries", "internal/obs",
 	},
 	"kernelpurity": {"internal/graph"},
+	// The concurrency family runs where goroutines, locks, and atomics
+	// live today — plus the packages the fleet-scale engine will grow into.
+	"locksafe":     concurrencyScope,
+	"atomicmix":    concurrencyScope,
+	"wgdiscipline": concurrencyScope,
+	"blockinglock": concurrencyScope,
+}
+
+var concurrencyScope = []string{
+	"internal/graph", "internal/stream", "internal/measure",
+	"internal/uarch", "internal/timeseries", "internal/obs",
+	"pkg/bayesperf", "cmd/bayesperf",
 }
 
 func main() {
@@ -61,11 +92,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("bayesvet", flag.ContinueOnError)
 	fl.SetOutput(stderr)
 	rules := fl.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	format := fl.String("format", "text", "output format: text, json, or github")
+	stats := fl.Bool("stats", false, "print per-rule finding counts and wall time to stderr")
 	fl.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bayesvet [-rules r1,r2] [packages]\n\npatterns are directories, with the go-style /... suffix for recursion\n(testdata directories are skipped); default is ./...\n")
+		fmt.Fprintf(stderr, "usage: bayesvet [-rules r1,r2] [-format text|json|github] [-stats] [packages]\n\npatterns are directories, with the go-style /... suffix for recursion\n(testdata directories are skipped); default is ./...\n")
 		fl.PrintDefaults()
 	}
 	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "bayesvet: unknown -format %q (have text, json, github)\n", *format)
 		return 2
 	}
 	analyzers, err := lint.ByName(*rules)
@@ -88,8 +127,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	loaders := make(map[string]*lint.Loader) // by module root
-	exit := 0
+	var (
+		diags    []lint.Diagnostic
+		loadTime time.Duration
+		ruleTime = make(map[string]time.Duration)
+		ruleHits = make(map[string]int)
+	)
 	for _, dir := range dirs {
+		loadStart := time.Now()
 		loader, err := loaderFor(loaders, dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "bayesvet: %v\n", err)
@@ -100,12 +145,87 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bayesvet: %v\n", err)
 			return 2
 		}
-		for _, d := range lint.RunAnalyzers(pkg, applicable(analyzers, pkg.Rel)) {
-			fmt.Fprintf(stdout, "%s: %s: %s\n", relPos(d), d.Rule, d.Message)
-			exit = 1
+		loadTime += time.Since(loadStart)
+		for _, a := range applicable(analyzers, pkg.Rel) {
+			start := time.Now()
+			found := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+			ruleTime[a.Name] += time.Since(start)
+			ruleHits[a.Name] += len(found)
+			diags = append(diags, found...)
 		}
 	}
-	return exit
+	lint.SortDiagnostics(diags)
+
+	if err := emit(stdout, *format, diags); err != nil {
+		fmt.Fprintf(stderr, "bayesvet: %v\n", err)
+		return 2
+	}
+	if *stats {
+		emitStats(stderr, analyzers, len(dirs), loadTime, ruleTime, ruleHits)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emit renders the sorted findings in the selected format. Text is the
+// historical line format; json is a machine-readable array (emitted even
+// when empty, so consumers can rely on valid JSON); github is the GitHub
+// Actions workflow-annotation format, which CI surfaces inline on PRs.
+func emit(stdout io.Writer, format string, diags []lint.Diagnostic) error {
+	switch format {
+	case "text":
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", relPos(d), d.Rule, d.Message)
+		}
+	case "json":
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:    relFile(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case "github":
+		for _, d := range diags {
+			// %s inside the message is free-form; GitHub only parses the
+			// key=value properties before the double colon.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=bayesvet %s::%s: %s\n",
+				relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Rule, d.Message)
+		}
+	}
+	return nil
+}
+
+// emitStats prints the per-rule cost table CI uses to watch the suite's
+// cost trend as the tree grows.
+func emitStats(stderr io.Writer, analyzers []*lint.Analyzer, pkgs int, loadTime time.Duration, ruleTime map[string]time.Duration, ruleHits map[string]int) {
+	var analysis time.Duration
+	for _, d := range ruleTime {
+		analysis += d
+	}
+	fmt.Fprintf(stderr, "bayesvet: %d packages, load %s, analysis %s\n",
+		pkgs, loadTime.Round(time.Millisecond), analysis.Round(time.Millisecond))
+	tw := tabwriter.NewWriter(stderr, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "\trule\tfindings\ttime\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(tw, "\t%s\t%d\t%s\n", a.Name, ruleHits[a.Name], ruleTime[a.Name].Round(time.Millisecond))
+	}
+	tw.Flush()
 }
 
 // loaderFor returns the (cached) loader for the module containing dir.
@@ -197,14 +317,21 @@ func hasGoFiles(dir string) bool {
 	return err == nil && len(bp.GoFiles) > 0
 }
 
+// relFile renders a filename relative to the working directory when
+// possible.
+func relFile(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return name
+}
+
 // relPos renders a diagnostic position with the filename relative to the
 // working directory when possible.
 func relPos(d lint.Diagnostic) string {
 	pos := d.Pos
-	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
-		}
-	}
+	pos.Filename = relFile(pos.Filename)
 	return pos.String()
 }

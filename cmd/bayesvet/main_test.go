@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,6 +72,50 @@ type C struct{ n int }
 
 func (c *C) Add() { c.n++ }
 `},
+		{"locksafe", "internal/stream/bad.go", `package stream
+
+import "sync"
+
+func leak(mu *sync.Mutex, err error) error {
+	mu.Lock()
+	if err != nil {
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+`},
+		{"atomicmix", "internal/obs/bad.go", `package obs
+
+import "sync/atomic"
+
+var hits uint64
+
+func inc()         { atomic.AddUint64(&hits, 1) }
+func peek() uint64 { return hits }
+`},
+		{"wgdiscipline", "internal/stream/bad.go", `package stream
+
+import "sync"
+
+func spawn(wg *sync.WaitGroup, work func()) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+`},
+		{"blockinglock", "internal/stream/bad.go", `package stream
+
+import "sync"
+
+func drain(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch
+}
+`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -132,6 +177,108 @@ func keys(m map[string]int) []string {
 	}
 	if code, _, errOut := runBayesvet(t, "-rules", "bogus", filepath.Join(dir, "...")); code != 2 {
 		t.Fatalf("-rules bogus: exit %d, want 2 (stderr %q)", code, errOut)
+	}
+}
+
+const formatFixture = `package stream
+
+import "sync"
+
+func leak(mu *sync.Mutex, err error) error {
+	mu.Lock()
+	if err != nil {
+		return err
+	}
+	mu.Unlock()
+	return nil
+}
+`
+
+func TestFormatJSON(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                 seedGoMod,
+		"internal/stream/bad.go": formatFixture,
+	})
+	code, out, errOut := runBayesvet(t, "-format", "json", filepath.Join(dir, "..."))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("%d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Rule != "locksafe" || f.Line != 8 || !strings.HasSuffix(f.File, "bad.go") || f.Message == "" {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+}
+
+func TestFormatJSONEmitsEmptyArrayWhenClean(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":      seedGoMod,
+		"pkg/fine.go": "package pkg\n\nfunc fine() {}\n",
+	})
+	code, out, _ := runBayesvet(t, "-format", "json", filepath.Join(dir, "..."))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("clean json output %q, want []", out)
+	}
+}
+
+func TestFormatGitHub(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                 seedGoMod,
+		"internal/stream/bad.go": formatFixture,
+	})
+	code, out, _ := runBayesvet(t, "-format", "github", filepath.Join(dir, "..."))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	line := strings.TrimSpace(out)
+	if !strings.HasPrefix(line, "::error file=") {
+		t.Fatalf("not a workflow annotation: %q", line)
+	}
+	for _, want := range []string{"line=8", "locksafe", "bad.go"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("annotation %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFormatUnknownIsUsageError(t *testing.T) {
+	if code, _, _ := runBayesvet(t, "-format", "xml", "."); code != 2 {
+		t.Fatalf("-format xml: exit %d, want 2", code)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                 seedGoMod,
+		"internal/stream/bad.go": formatFixture,
+	})
+	code, out, errOut := runBayesvet(t, "-stats", filepath.Join(dir, "..."))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "locksafe: ") {
+		t.Fatalf("stdout lost the finding: %q", out)
+	}
+	// Stats go to stderr so stdout stays parseable.
+	for _, want := range []string{"packages, load", "rule", "locksafe", "wgdiscipline"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stats output %q missing %q", errOut, want)
+		}
 	}
 }
 

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces an all-or-nothing discipline on sync/atomic: once any
+// code in the package accesses a variable or field through the sync/atomic
+// package functions, every other access to it must be atomic too. A plain
+// read concurrent with an atomic write is a data race the race detector
+// only reports on the interleavings it happens to see; this rule makes the
+// mixing itself the error.
+//
+// Pass 1 collects every `&x` / `&s.f` argument of a sync/atomic call and
+// resolves it to its types.Object. Pass 2 flags every other mention of
+// those objects. Exempt: the atomic call sites themselves, composite
+// literal keys (`S{f: 0}` names the field, it does not access it), and
+// declarations (initialization precedes publication).
+//
+// Typed atomics (atomic.Uint64 and friends) are immune by construction —
+// the type system already forbids plain access — and are the repo's
+// preferred style; this rule guards the classic-style call sites.
+//
+// Escape hatch: //bayesvet:atomicmix <reason> for provably unpublished
+// access (e.g. a snapshot after all goroutines joined).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+const atomicMixDirective = "bayesvet:atomicmix"
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: objects whose address is taken by a sync/atomic call, with
+	// one representative atomic site each for the diagnostic, and the
+	// identifiers that are themselves part of an atomic access.
+	atomicSite := make(map[types.Object]token.Pos)
+	exemptIdent := make(map[*ast.Ident]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, id := addrTarget(p.Info, un.X)
+				if obj == nil {
+					continue
+				}
+				if prev, seen := atomicSite[obj]; !seen || un.Pos() < prev {
+					atomicSite[obj] = un.Pos()
+				}
+				exemptIdent[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicSite) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention is a plain access.
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							exemptIdent[id] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				obj := p.Info.Uses[n]
+				if obj == nil || exemptIdent[n] {
+					return true
+				}
+				if _, tracked := atomicSite[obj]; !tracked {
+					return true
+				}
+				if p.Annotated(file, n.Pos(), atomicMixDirective) {
+					return true
+				}
+				findings = append(findings, finding{pos: n.Pos(), obj: obj})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		at := p.Fset.Position(atomicSite[f.obj])
+		p.Report(f.pos, "plain access to %s, which is accessed via sync/atomic (e.g. %s:%d): races with the atomic sites",
+			f.obj.Name(), at.Filename, at.Line)
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes a package-level function of
+// sync/atomic (atomic.AddUint64, atomic.LoadPointer, ...).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addrTarget resolves the operand of a unary & inside an atomic call to the
+// variable or field object being atomically accessed, along with the
+// identifier naming it. Index expressions are skipped: per-element atomics
+// on a slice can't be paired with whole-value mentions soundly.
+func addrTarget(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if obj := info.Uses[x.Sel]; obj != nil {
+				if v, ok := obj.(*types.Var); ok {
+					return v, x.Sel
+				}
+			}
+			return nil, nil
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				if v, ok := obj.(*types.Var); ok {
+					return v, x
+				}
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BlockingLock flags operations that can block indefinitely while a mutex
+// is definitely held — the shape of every deadlock the stream engine's
+// emit/flush paths could grow: a goroutine parks on a channel or WaitGroup
+// while holding the lock every other goroutine needs to make progress.
+//
+// On any path where the locksafe lattice proves a lock held, the rule
+// reports:
+//
+//   - channel sends and receives (including `range ch` and blocking
+//     selects); a select with a default clause cannot block and is exempt
+//   - WaitGroup.Wait
+//   - acquiring a *different* lock (lock-order inversion risk; re-locking
+//     the same primitive is locksafe's double-Lock finding)
+//
+// Only definitely-held locks fire — "maybe held" would drown real findings
+// in conditional-locking noise.
+//
+// Escape hatch: //bayesvet:blockinglock <reason> — e.g. a send on a
+// buffered channel that the holder provably never fills.
+var BlockingLock = &Analyzer{
+	Name: "blockinglock",
+	Doc:  "no blocking channel ops, Wait, or nested Lock while a mutex is held",
+	Run:  runBlockingLock,
+}
+
+const blockingLockDirective = "bayesvet:blockinglock"
+
+func runBlockingLock(p *Pass) {
+	for _, file := range p.Files {
+		nonBlocking := nonBlockingComms(file)
+		for _, fn := range funcBodies(file) {
+			checkBlockingUnderLock(p, file, fn.body, nonBlocking)
+		}
+	}
+}
+
+// nonBlockingComms collects the comm statements of every select that has a
+// default clause: those sends/receives never block.
+func nonBlockingComms(file *ast.File) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkBlockingUnderLock(p *Pass, file *ast.File, body *ast.BlockStmt, nonBlocking map[ast.Node]bool) {
+	lf := &lockFlow{info: p.Info}
+	Solve(NewCFG(body), lf).Replay(func(n ast.Node, before any) {
+		st := before.(lockFacts)
+		if !anyDefinitelyHeld(st) {
+			return
+		}
+		held := heldNames(st)
+		report := func(pos token.Pos, format string, args ...any) {
+			if !p.Annotated(file, pos, blockingLockDirective) {
+				p.Report(pos, format, args...)
+			}
+		}
+		if nonBlocking[n] {
+			return // comm stmt of a select with default: cannot block
+		}
+		if ro, ok := n.(*RangeOver); ok {
+			if tv, ok := p.Info.Types[ro.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(ro.Pos(), "ranging over a channel while %s is held: blocks until the channel closes", held)
+				}
+			}
+			return
+		}
+		InspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				report(m.Arrow, "channel send while %s is held", held)
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					report(m.OpPos, "channel receive while %s is held", held)
+				}
+			case *ast.CallExpr:
+				recv, typ, method, ok := syncMethodCall(p.Info, m)
+				if !ok {
+					return true
+				}
+				if typ == "WaitGroup" && method == "Wait" {
+					report(m.Pos(), "WaitGroup.Wait while %s is held", held)
+					return true
+				}
+				if isLockType(typ) && (method == "Lock" || method == "RLock") {
+					key, ok := resolveSyncObj(p.Info, recv)
+					if !ok {
+						return true
+					}
+					if s, present := st.held[key]; present && (s == lockHeld || s == lockRHeld) {
+						return true // same primitive: locksafe's double-Lock finding
+					}
+					report(m.Pos(), "acquiring %s while %s is held: lock-order deadlock risk", key.name(), held)
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,487 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// This file is the control-flow half of the lint package's dataflow engine:
+// NewCFG lowers one function body into basic blocks connected by
+// branch/loop/switch/select edges, and dataflow.go runs a forward worklist
+// solver over the result. The AST-pattern rules (maporder, hotalloc, ...)
+// never needed control flow; the concurrency rules (locksafe, wgdiscipline,
+// blockinglock) are all "on some path ..." properties and do.
+//
+// Design choices, and the invariants rules may rely on:
+//
+//   - Blocks hold only *simple* nodes — plain statements (assignments,
+//     calls, sends, go/defer, returns) and the branch-condition
+//     expressions of the control statements that were lowered into edges.
+//     A node never contains nested control flow, so a transfer function
+//     can walk it with InspectShallow without double-seeing statements.
+//   - Function literals are opaque: the CFG of the enclosing function does
+//     not descend into them (a literal's body is a different function with
+//     its own CFG). InspectShallow stops at them accordingly.
+//   - Every function exit is an explicit node: each *ast.ReturnStmt stays
+//     in its block, and a body that can fall off the end gets a synthetic
+//     *ImplicitReturn positioned at the closing brace. A block ending in
+//     panic(...) simply has no successors (panic unwinds; rules that check
+//     "held at return" deliberately don't fire on panic paths).
+//   - Blocks are numbered in creation order and edges are appended in
+//     source order, so every traversal in this package is deterministic.
+//   - Unreachable statements (after return/break/...) still get blocks, but
+//     those blocks have no predecessors; the solver never reaches them and
+//     Replay skips them.
+//
+// Approximations (all safe for the rules built here): case expressions are
+// evaluated in their case's block rather than in dispatch order, a
+// fallthrough edge re-enters the next case at its expressions, and range
+// key/value assignments are not materialized.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks[0] is the entry block; order is creation order.
+	Blocks []*Block
+}
+
+// Block is one basic block: straight-line nodes followed by edges to every
+// possible successor.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// ImplicitReturn is a synthetic CFG node marking the fall-off-the-end exit
+// of a function body, positioned at the closing brace.
+type ImplicitReturn struct {
+	Rbrace token.Pos
+}
+
+func (r *ImplicitReturn) Pos() token.Pos { return r.Rbrace }
+func (r *ImplicitReturn) End() token.Pos { return r.Rbrace + 1 }
+
+// RangeOver is a synthetic CFG node marking the per-iteration fetch in a
+// range loop's header (the ranged expression itself is evaluated once, as
+// an ordinary node, before the header).
+type RangeOver struct {
+	X ast.Expr
+}
+
+func (r *RangeOver) Pos() token.Pos { return r.X.Pos() }
+func (r *RangeOver) End() token.Pos { return r.X.End() }
+
+// InspectShallow walks n in the way CFG transfer functions need: like
+// ast.Inspect, but it understands the package's synthetic nodes and does
+// not descend into function literals (the literal itself is still visited,
+// so a rule can treat it as an opaque value).
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	switch sn := n.(type) {
+	case *ImplicitReturn:
+		f(sn)
+		return
+	case *RangeOver:
+		if f(sn) {
+			InspectShallow(sn.X, f)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			f(m)
+			return false
+		}
+		return f(m)
+	})
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:         &CFG{},
+		labelCtls:   make(map[string]*labelCtl),
+		labelBlocks: make(map[string]*Block),
+	}
+	b.cur = b.newBlock()
+	b.block(body)
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, &ImplicitReturn{Rbrace: body.Rbrace})
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+// labelCtl is a labeled statement's break/continue targets.
+type labelCtl struct {
+	brk, cont *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil while the current point is
+	// unreachable (after return/break/panic/...).
+	cur *Block
+
+	breaks    []*Block // innermost break target last
+	continues []*Block // innermost continue target last
+
+	labelCtls   map[string]*labelCtl
+	labelBlocks map[string]*Block
+	gotos       []pendingGoto
+
+	// fallthroughTo is the next case's block while building a switch case
+	// body (nil in the last case and outside switches).
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge appends from→to, ignoring detached ends and duplicates.
+func edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a simple node to the current block, opening a fresh
+// (unreachable) block when the current point is dead.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) block(s *ast.BlockStmt) {
+	for _, st := range s.List {
+		b.stmt(st)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) { b.stmtLabeled(s, "") }
+
+func (b *cfgBuilder) stmtLabeled(s ast.Stmt, label string) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable region: floating block, no preds
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.block(s)
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		edge(b.cur, start)
+		b.cur = start
+		b.labelBlocks[s.Label.Name] = start
+		b.stmtLabeled(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, ...: simple nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+
+	then := b.newBlock()
+	edge(cond, then)
+	b.cur = then
+	b.block(s.Body)
+	thenEnd := b.cur
+
+	elseEnd := cond // no else: the condition falls through to the join
+	if s.Else != nil {
+		els := b.newBlock()
+		edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	if thenEnd == nil && elseEnd == nil {
+		b.cur = nil
+		return
+	}
+	join := b.newBlock()
+	edge(thenEnd, join)
+	edge(elseEnd, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	edge(b.cur, header)
+	if s.Cond != nil {
+		header.Nodes = append(header.Nodes, s.Cond)
+	}
+	exit := b.newBlock()
+	post := b.newBlock() // continue target; holds Post
+	if label != "" {
+		b.labelCtls[label] = &labelCtl{brk: exit, cont: post}
+	}
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, post)
+
+	body := b.newBlock()
+	edge(header, body)
+	if s.Cond != nil {
+		edge(header, exit)
+	}
+	b.cur = body
+	b.block(s.Body)
+	edge(b.cur, post)
+	if s.Post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	edge(post, header)
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X) // the ranged expression is evaluated once, before the loop
+	header := b.newBlock()
+	edge(b.cur, header)
+	header.Nodes = append(header.Nodes, &RangeOver{X: s.X})
+	exit := b.newBlock()
+	if label != "" {
+		b.labelCtls[label] = &labelCtl{brk: exit, cont: header}
+	}
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, header)
+
+	body := b.newBlock()
+	edge(header, body)
+	edge(header, exit)
+	b.cur = body
+	b.block(s.Body)
+	edge(b.cur, header)
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+// switchBody lowers an (expression or type) switch's clause list. The
+// header is the current block; every case gets an edge from it, and a
+// missing default adds a header→exit edge.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, allowFallthrough bool) {
+	header := b.cur
+	exit := b.newBlock()
+	if label != "" {
+		b.labelCtls[label] = &labelCtl{brk: exit}
+	}
+	b.breaks = append(b.breaks, exit)
+
+	clauses := body.List
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock()
+		edge(header, caseBlocks[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(header, exit)
+	}
+	prevFallthrough := b.fallthroughTo
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = caseBlocks[i+1]
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		edge(b.cur, exit)
+	}
+	b.fallthroughTo = prevFallthrough
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	header := b.cur
+	exit := b.newBlock()
+	if label != "" {
+		b.labelCtls[label] = &labelCtl{brk: exit}
+	}
+	b.breaks = append(b.breaks, exit)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		caseBlock := b.newBlock()
+		edge(header, caseBlock)
+		b.cur = caseBlock
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		edge(b.cur, exit)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = exit
+	if len(s.Body.List) == 0 {
+		b.cur = nil // select{} blocks forever
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if label != "" {
+			if ctl, ok := b.labelCtls[label]; ok {
+				edge(b.cur, ctl.brk)
+			}
+		} else if len(b.breaks) > 0 {
+			edge(b.cur, b.breaks[len(b.breaks)-1])
+		}
+	case token.CONTINUE:
+		if label != "" {
+			if ctl, ok := b.labelCtls[label]; ok {
+				edge(b.cur, ctl.cont)
+			}
+		} else if len(b.continues) > 0 {
+			edge(b.cur, b.continues[len(b.continues)-1])
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	case token.FALLTHROUGH:
+		edge(b.cur, b.fallthroughTo)
+	}
+	b.cur = nil
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic. The
+// builder has no type info, so a shadowed panic would also match — the
+// repo never shadows it, and the consequence is only a conservatively
+// terminated block.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// String renders the CFG for tests and debugging:
+//
+//	b0: [x := 0] -> b1
+//	b1: [x < 10] -> b2 b3
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d: [", b.Index)
+		for i, n := range b.Nodes {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(nodeText(n))
+		}
+		sb.WriteString("]")
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText renders one block node on a single line.
+func nodeText(n ast.Node) string {
+	switch sn := n.(type) {
+	case *ImplicitReturn:
+		return "implicit-return"
+	case *RangeOver:
+		return "range-over " + nodeText(sn.X)
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

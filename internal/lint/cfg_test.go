@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of func f and returns its CFG.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// reachable returns the block indices reachable from the entry.
+func reachable(c *CFG) map[int]bool {
+	seen := map[int]bool{}
+	if len(c.Blocks) == 0 {
+		return seen
+	}
+	stack := []*Block{c.Blocks[0]}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// countNodes counts reachable nodes whose rendering contains text.
+func countNodes(c *CFG, text string) int {
+	r := reachable(c)
+	n := 0
+	for _, b := range c.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, node := range b.Nodes {
+			if strings.Contains(nodeText(node), text) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildCFG(t, "x := 1\nx++\n_ = x")
+	if len(c.Blocks) != 1 {
+		t.Fatalf("straight-line body built %d blocks, want 1\n%s", len(c.Blocks), c)
+	}
+	// 3 statements + the implicit return.
+	if got := len(c.Blocks[0].Nodes); got != 4 {
+		t.Fatalf("entry has %d nodes, want 4\n%s", got, c)
+	}
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("missing implicit return\n%s", c)
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	c := buildCFG(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x")
+	// entry(cond) → then|else → join; the join holds _ = x and the
+	// implicit return.
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("if/else lost the fall-off exit\n%s", c)
+	}
+	entry := c.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2\n%s", len(entry.Succs), c)
+	}
+}
+
+func TestCFGIfWithoutElseFallsThrough(t *testing.T) {
+	c := buildCFG(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	entry := c.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if-without-else condition has %d successors, want 2 (then + join)\n%s", len(entry.Succs), c)
+	}
+}
+
+func TestCFGEarlyReturnTerminates(t *testing.T) {
+	c := buildCFG(t, "x := 1\nif x > 0 {\n\treturn\n}\n_ = x")
+	r := reachable(c)
+	for _, b := range c.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, isRet := n.(*ast.ReturnStmt); isRet && len(b.Succs) != 0 {
+				// A return's block must not flow anywhere: the trailing
+				// nodes after it belong to other blocks.
+				for _, s := range b.Succs {
+					t.Fatalf("return block b%d flows to b%d\n%s", b.Index, s.Index, c)
+				}
+			}
+		}
+	}
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("the non-returning path lost its exit\n%s", c)
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := buildCFG(t, "s := 0\nfor i := 0; i < 10; i++ {\n\ts += i\n}\n_ = s")
+	// The condition block must be its own block with two successors (body,
+	// exit) and an incoming back edge.
+	var cond *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeText(n), "i < 10") {
+				cond = b
+			}
+		}
+	}
+	if cond == nil {
+		t.Fatalf("no condition block\n%s", c)
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("loop condition has %d successors, want 2\n%s", len(cond.Succs), c)
+	}
+	preds := 0
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == cond {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("loop condition has %d predecessors, want 2 (entry + back edge)\n%s", preds, c)
+	}
+}
+
+func TestCFGInfiniteLoopHasNoExit(t *testing.T) {
+	c := buildCFG(t, "for {\n\t_ = 1\n}")
+	if n := countNodes(c, "implicit-return"); n != 0 {
+		t.Fatalf("for{} reached the implicit return %d times\n%s", n, c)
+	}
+}
+
+func TestCFGBreakReachesExit(t *testing.T) {
+	c := buildCFG(t, "for {\n\tbreak\n}\n_ = 1")
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("break did not reach the loop exit\n%s", c)
+	}
+}
+
+func TestCFGRangeOverMarker(t *testing.T) {
+	c := buildCFG(t, "xs := []int{1}\nfor range xs {\n\t_ = 1\n}")
+	if countNodes(c, "range-over xs") != 1 {
+		t.Fatalf("missing range-over marker\n%s", c)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	c := buildCFG(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\n}\n_ = x")
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("switch without default lost the skip edge\n%s", c)
+	}
+}
+
+func TestCFGSelectBranches(t *testing.T) {
+	c := buildCFG(t, "ch := make(chan int)\nselect {\ncase <-ch:\n\t_ = 1\ndefault:\n\t_ = 2\n}\n_ = 3")
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("select lost the join\n%s", c)
+	}
+	if countNodes(c, "<-ch") == 0 {
+		t.Fatalf("comm statement missing from the reachable CFG\n%s", c)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := buildCFG(t, "x := 1\nif x > 0 {\n\tpanic(\"no\")\n}\n_ = x")
+	r := reachable(c)
+	for _, b := range c.Blocks {
+		if !r[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeText(n), "panic") && len(b.Succs) != 0 {
+				t.Fatalf("panic block b%d has successors\n%s", b.Index, c)
+			}
+		}
+	}
+}
+
+func TestCFGDeadCodeIsUnreachable(t *testing.T) {
+	c := buildCFG(t, "return\n_ = 1")
+	r := reachable(c)
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeText(n), "_ = 1") && r[b.Index] {
+				t.Fatalf("dead statement is reachable\n%s", c)
+			}
+		}
+	}
+}
+
+func TestCFGGotoEdge(t *testing.T) {
+	c := buildCFG(t, "i := 0\nagain:\n\ti++\n\tif i < 3 {\n\t\tgoto again\n\t}")
+	// The goto back edge makes the labeled block a loop header with ≥ 2
+	// predecessors.
+	var target *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if nodeText(n) == "i++" {
+				target = b
+			}
+		}
+	}
+	if target == nil {
+		t.Fatalf("no labeled block\n%s", c)
+	}
+	preds := 0
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == target {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("goto target has %d predecessors, want ≥ 2\n%s", preds, c)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildCFG(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\n_ = 1")
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("labeled break did not escape both loops\n%s", c)
+	}
+}
+
+func TestCFGFuncLitIsOpaque(t *testing.T) {
+	c := buildCFG(t, "f := func() {\n\treturn\n}\nf()")
+	// The literal's return belongs to the literal's own CFG; the enclosing
+	// function still falls off the end.
+	if countNodes(c, "implicit-return") != 1 {
+		t.Fatalf("func literal's return leaked into the enclosing CFG\n%s", c)
+	}
+}
+
+func TestInspectShallowSkipsFuncLit(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\tg(func() { h() })\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	sawLit, sawInner := false, false
+	InspectShallow(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			sawLit = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "h" {
+			sawInner = true
+		}
+		return true
+	})
+	if !sawLit {
+		t.Fatal("InspectShallow skipped the literal itself")
+	}
+	if sawInner {
+		t.Fatal("InspectShallow descended into the literal body")
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Shared machinery for the concurrency rule family (locksafe, atomicmix,
+// wgdiscipline, blockinglock): naming sync primitives across statements and
+// classifying calls on them.
+
+// syncObj names one sync primitive (mutex, RWMutex, WaitGroup, ...) within
+// a function: the root object the receiver expression resolves to plus the
+// selector path from it. `s.mu.Lock()` and `s.mu.Unlock()` resolve to the
+// same syncObj whenever `s` resolves to the same *types.Var, which is what
+// lets a per-function dataflow pair them up.
+type syncObj struct {
+	root types.Object
+	path string
+}
+
+func (o syncObj) name() string { return o.root.Name() + o.path }
+
+// resolveSyncObj resolves a receiver expression to a syncObj, walking
+// selector/paren/star/address chains down to an identifier root. It bails
+// (ok=false) on anything dynamic — index expressions, call results — where
+// two mentions can't be proven to name the same primitive.
+func resolveSyncObj(info *types.Info, e ast.Expr) (syncObj, bool) {
+	path := ""
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return syncObj{}, false
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil {
+				return syncObj{}, false
+			}
+			return syncObj{root: obj, path: path}, true
+		default:
+			return syncObj{}, false
+		}
+	}
+}
+
+// syncMethodCall classifies call as a method call on a package sync
+// primitive. On success it returns the receiver expression (the value the
+// method was selected from — for a promoted method, the embedding outer
+// value), the primitive's type name ("Mutex", "RWMutex", "WaitGroup",
+// "Locker", ...), and the method name.
+func syncMethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, typ, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), fn.Name(), true
+}
+
+// isLockType reports whether typ names a sync lock primitive locksafe
+// tracks state for.
+func isLockType(typ string) bool {
+	switch typ {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// funcBody is one analyzable function body: a declared function or a
+// function literal. Literals are analyzed as functions of their own — the
+// enclosing function's CFG treats them as opaque values.
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// funcBodies enumerates every function body in file in source order.
+func funcBodies(file *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// sortedSyncObjs returns the keys of a syncObj-keyed map ordered by
+// printable name (then by declaration position for equal names), so
+// per-state reporting is deterministic.
+func sortedSyncObjs[V any](m map[syncObj]V) []syncObj {
+	keys := make([]syncObj, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if a, b := keys[i].name(), keys[j].name(); a != b {
+			return a < b
+		}
+		return keys[i].root.Pos() < keys[j].root.Pos()
+	})
+	return keys
+}

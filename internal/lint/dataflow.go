@@ -1,0 +1,94 @@
+package lint
+
+import "go/ast"
+
+// The dataflow half of the engine: a generic forward worklist solver over a
+// CFG (cfg.go) and a pluggable join lattice. A rule supplies a Flow; the
+// solver computes the least fixpoint of per-block input states; the rule
+// then calls Replay to visit every reachable node together with the state
+// flowing into it and does all of its reporting there. Splitting the solve
+// from the replay keeps reporting duplicate-free even though the fixpoint
+// iteration transfers each block many times.
+
+// Flow is one forward dataflow problem. States must be treated as
+// immutable: Transfer and Join return fresh (or shared, unmodified) values
+// and never mutate their arguments, because the solver hands the same
+// state value to multiple successors.
+type Flow interface {
+	// Entry is the state on entry to the function.
+	Entry() any
+	// Transfer returns the state after executing one block node.
+	Transfer(n ast.Node, state any) any
+	// Join merges the states of two converging paths.
+	Join(a, b any) any
+	// Equal reports whether two states coincide (fixpoint detection).
+	Equal(a, b any) bool
+}
+
+// Solution holds the fixpoint: the input state of every reachable block.
+type Solution struct {
+	CFG  *CFG
+	Flow Flow
+	// In maps each reachable block index to its input state. Unreachable
+	// blocks (no path from entry) are absent.
+	In map[int]any
+}
+
+// Solve runs the worklist algorithm to a fixpoint. The pass budget is a
+// safety valve against a non-converging lattice (a rule bug); the lattices
+// in this package have height ≤ 2 per tracked object, so real functions
+// converge in a handful of passes.
+func Solve(cfg *CFG, f Flow) *Solution {
+	sol := &Solution{CFG: cfg, Flow: f, In: make(map[int]any, len(cfg.Blocks))}
+	if len(cfg.Blocks) == 0 {
+		return sol
+	}
+	entry := cfg.Blocks[0]
+	sol.In[entry.Index] = f.Entry()
+	queue := []*Block{entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[entry.Index] = true
+	budget := 64*len(cfg.Blocks) + 256
+	for len(queue) > 0 && budget > 0 {
+		budget--
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+		st := sol.In[b.Index]
+		for _, n := range b.Nodes {
+			st = f.Transfer(n, st)
+		}
+		for _, s := range b.Succs {
+			prev, seen := sol.In[s.Index]
+			next := st
+			if seen {
+				next = f.Join(prev, st)
+				if f.Equal(prev, next) {
+					continue
+				}
+			}
+			sol.In[s.Index] = next
+			if !queued[s.Index] {
+				queue = append(queue, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return sol
+}
+
+// Replay visits every node of every reachable block in block order,
+// passing the state flowing into that node. Rules report here — each
+// reachable node is visited exactly once.
+func (s *Solution) Replay(visit func(n ast.Node, before any)) {
+	for _, b := range s.CFG.Blocks {
+		st, ok := s.In[b.Index]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			visit(n, st)
+			st = s.Flow.Transfer(n, st)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// markFlow is a miniature dataflow problem for testing the solver: the
+// state is "has a call to mark() executed on this path" — no / yes /
+// maybe. It has the same shape (three-point per-fact lattice, join to
+// maybe) as the real concurrency lattices.
+type markFlow struct{}
+
+const (
+	markNo    = "no"
+	markYes   = "yes"
+	markMaybe = "maybe"
+)
+
+func (markFlow) Entry() any { return markNo }
+
+func (markFlow) Transfer(n ast.Node, state any) any {
+	st := state.(string)
+	InspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+				st = markYes
+			}
+		}
+		return true
+	})
+	return st
+}
+
+func (markFlow) Join(a, b any) any {
+	if a == b {
+		return a
+	}
+	return markMaybe
+}
+
+func (markFlow) Equal(a, b any) bool { return a == b }
+
+// stateAtReturns solves body and returns the state observed at every
+// return (explicit and implicit), in block order.
+func stateAtReturns(t *testing.T, body string) []string {
+	t.Helper()
+	cfg := buildCFG(t, body)
+	sol := Solve(cfg, markFlow{})
+	var out []string
+	sol.Replay(func(n ast.Node, before any) {
+		switch n.(type) {
+		case *ast.ReturnStmt, *ImplicitReturn:
+			out = append(out, before.(string))
+		}
+	})
+	return out
+}
+
+func TestSolveStraightLine(t *testing.T) {
+	got := stateAtReturns(t, "mark()")
+	if len(got) != 1 || got[0] != markYes {
+		t.Fatalf("states at returns = %v, want [yes]", got)
+	}
+}
+
+func TestSolveBranchJoinsToMaybe(t *testing.T) {
+	got := stateAtReturns(t, "x := 1\nif x > 0 {\n\tmark()\n}\n_ = x")
+	if len(got) != 1 || got[0] != markMaybe {
+		t.Fatalf("states at returns = %v, want [maybe]", got)
+	}
+}
+
+func TestSolveBothBranchesStayYes(t *testing.T) {
+	got := stateAtReturns(t, "x := 1\nif x > 0 {\n\tmark()\n} else {\n\tmark()\n}\n_ = x")
+	if len(got) != 1 || got[0] != markYes {
+		t.Fatalf("states at returns = %v, want [yes]", got)
+	}
+}
+
+func TestSolvePerReturnStates(t *testing.T) {
+	got := stateAtReturns(t, "x := 1\nif x > 0 {\n\treturn\n}\nmark()")
+	if len(got) != 2 {
+		t.Fatalf("saw %d returns, want 2 (%v)", len(got), got)
+	}
+	// Block order: the early return (no) precedes the fall-off exit (yes).
+	if got[0] != markNo || got[1] != markYes {
+		t.Fatalf("states at returns = %v, want [no yes]", got)
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	// mark() inside the loop body: reaching the exit may or may not have
+	// passed through it.
+	got := stateAtReturns(t, "for i := 0; i < 3; i++ {\n\tmark()\n}")
+	if len(got) != 1 || got[0] != markMaybe {
+		t.Fatalf("states at returns = %v, want [maybe]", got)
+	}
+}
+
+func TestSolveLoopInvariantYes(t *testing.T) {
+	// mark() before the loop: yes must survive the back-edge join.
+	got := stateAtReturns(t, "mark()\nfor i := 0; i < 3; i++ {\n\t_ = i\n}")
+	if len(got) != 1 || got[0] != markYes {
+		t.Fatalf("states at returns = %v, want [yes]", got)
+	}
+}
+
+func TestSolveDeadCodeNotVisited(t *testing.T) {
+	cfg := buildCFG(t, "return\nmark()")
+	sol := Solve(cfg, markFlow{})
+	sol.Replay(func(n ast.Node, before any) {
+		if strings.Contains(nodeText(n), "mark") {
+			t.Fatalf("replay visited dead code %s", nodeText(n))
+		}
+	})
+}
+
+func TestSolveFuncLitBodyIgnored(t *testing.T) {
+	// mark() inside a literal must not leak into the enclosing state.
+	got := stateAtReturns(t, "f := func() {\n\tmark()\n}\n_ = f")
+	if len(got) != 1 || got[0] != markNo {
+		t.Fatalf("states at returns = %v, want [no]", got)
+	}
+}
+
+func TestSolveEmptyCFG(t *testing.T) {
+	sol := Solve(&CFG{}, markFlow{})
+	if len(sol.In) != 0 {
+		t.Fatalf("empty CFG produced %d states", len(sol.In))
+	}
+	sol.Replay(func(ast.Node, any) { t.Fatal("replay visited a node") })
+}
+
+func TestSolveReplayVisitsEachReachableNodeOnce(t *testing.T) {
+	cfg := buildCFG(t, "x := 0\nfor i := 0; i < 3; i++ {\n\tx += i\n}\nif x > 0 {\n\tx--\n}\n_ = x")
+	counts := map[ast.Node]int{}
+	Solve(cfg, markFlow{}).Replay(func(n ast.Node, _ any) { counts[n]++ })
+	for n, c := range counts {
+		if c != 1 {
+			t.Fatalf("node %s visited %d times", nodeText(n), c)
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("replay visited nothing")
+	}
+}

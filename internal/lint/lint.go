@@ -13,6 +13,17 @@
 //	floateq       no tolerance-free float comparisons outside tests
 //	hotalloc      //bayesperf:hotpath functions must not allocate
 //	nilrecv       //bayesvet:nilsafe instruments guard nil receivers
+//	locksafe      lock-set dataflow: leaked/double/mismatched/copied locks
+//	atomicmix     sync/atomic'd variables are never accessed plainly
+//	wgdiscipline  WaitGroup.Add precedes the go it gates; no Wait under lock
+//	blockinglock  no blocking channel ops / Wait / nested Lock under a mutex
+//
+// The first five are AST pattern matchers. The concurrency family
+// (locksafe, atomicmix, wgdiscipline, blockinglock) runs on the package's
+// dataflow engine — a per-function control-flow graph (cfg.go) and a
+// generic forward worklist solver (dataflow.go) — because its invariants
+// are path properties ("held on some path to this return") that no single
+// AST pattern can see.
 //
 // Analyzers are scope-agnostic: they analyze whatever package they are
 // handed. The driver (cmd/bayesvet) decides which analyzers apply to which
@@ -129,6 +140,13 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		pass := &Pass{Package: pkg, rule: a.Name, diags: &diags}
 		a.Run(pass)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, then rule — the
+// order every bayesvet surface (text, json, github) emits.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -142,12 +160,14 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags
 }
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, KernelPurity, FloatEq, HotAlloc, NilRecv}
+	return []*Analyzer{
+		MapOrder, KernelPurity, FloatEq, HotAlloc, NilRecv,
+		LockSafe, AtomicMix, WGDiscipline, BlockingLock,
+	}
 }
 
 // ByName resolves a comma-separated rule list ("maporder,floateq") against

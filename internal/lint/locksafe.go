@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe is the lock-discipline rule: a per-function lock-set dataflow
+// over the CFG, plus AST-level copylock checks.
+//
+// The dataflow tracks, for every mutex/RWMutex the function touches, whether
+// it is held (write-locked), read-held, or held on only some paths, with
+// deferred unlocks applied at each return. It reports:
+//
+//   - a lock still (or possibly still) held at a return — the classic
+//     early-return leak
+//   - double Lock / recursive RLock on the same primitive (self-deadlock;
+//     recursive RLock deadlocks once a writer queues between the two)
+//   - Unlock without Lock, and Unlock/RUnlock mismatches on an RWMutex
+//   - Lock while the same RWMutex is read-held (upgrade deadlock)
+//
+// The copylock checks flag lock-carrying values that Go will silently copy:
+// embedded (anonymous) sync.Mutex/RWMutex/WaitGroup/Once/Cond value fields
+// — which additionally promote Lock/Unlock into the outer type's method set
+// — value receivers, and by-value parameters of lock-containing types.
+//
+// Escape hatch: //bayesvet:locksafe <reason> on the line or the line above.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "lock-set dataflow: leaked/double/mismatched locks, copied locks",
+	Run:  runLockSafe,
+}
+
+const lockSafeDirective = "bayesvet:locksafe"
+
+func runLockSafe(p *Pass) {
+	for _, file := range p.Files {
+		checkEmbeddedLocks(p, file)
+		checkValueCarriers(p, file)
+		for _, fn := range funcBodies(file) {
+			checkLockDiscipline(p, file, fn.body)
+		}
+	}
+}
+
+// ---- lock-set dataflow ----
+
+// lockState is the per-primitive lattice. Absence from the held map means
+// "unlocked on every path"; lockMaybe is the top element.
+type lockState uint8
+
+const (
+	lockHeld  lockState = iota // write-locked on every path
+	lockRHeld                  // read-locked on every path
+	lockMaybe                  // locked on some paths only, or TryLock'd
+)
+
+// deferAction records what a registered defer will do to a primitive when
+// the function returns.
+type deferAction uint8
+
+const (
+	deferUnlock  deferAction = iota // defer mu.Unlock() on every path
+	deferRUnlock                    // defer mu.RUnlock() on every path
+	deferMixed                      // registered on only some paths: unknowable
+)
+
+// lockFacts is the dataflow state: the lock set plus pending defers. Values
+// are immutable — every update copies (the maps are tiny: functions touch
+// one or two locks).
+type lockFacts struct {
+	held   map[syncObj]lockState
+	defers map[syncObj]deferAction
+}
+
+func (f lockFacts) withHeld(k syncObj, s lockState) lockFacts {
+	held := make(map[syncObj]lockState, len(f.held)+1)
+	for o, v := range f.held {
+		held[o] = v
+	}
+	held[k] = s
+	return lockFacts{held: held, defers: f.defers}
+}
+
+func (f lockFacts) withoutHeld(k syncObj) lockFacts {
+	if _, ok := f.held[k]; !ok {
+		return f
+	}
+	held := make(map[syncObj]lockState, len(f.held))
+	for o, v := range f.held {
+		if o != k {
+			held[o] = v
+		}
+	}
+	return lockFacts{held: held, defers: f.defers}
+}
+
+func (f lockFacts) withDefer(k syncObj, a deferAction) lockFacts {
+	defers := make(map[syncObj]deferAction, len(f.defers)+1)
+	for o, v := range f.defers {
+		defers[o] = v
+	}
+	defers[k] = a
+	return lockFacts{held: f.held, defers: defers}
+}
+
+// lockFlow implements Flow for the lock-set analysis. Transfer delegates to
+// apply with a nil reporter; the rule replays with a real reporter.
+type lockFlow struct {
+	info *types.Info
+}
+
+func (lf *lockFlow) Entry() any { return lockFacts{} }
+
+func (lf *lockFlow) Transfer(n ast.Node, state any) any {
+	return lf.apply(n, state.(lockFacts), nil)
+}
+
+func (lf *lockFlow) Join(a, b any) any {
+	fa, fb := a.(lockFacts), b.(lockFacts)
+	held := make(map[syncObj]lockState, len(fa.held)+len(fb.held))
+	for k, va := range fa.held {
+		if vb, ok := fb.held[k]; ok && vb == va {
+			held[k] = va
+		} else {
+			held[k] = lockMaybe // unlocked or different on the other path
+		}
+	}
+	for k := range fb.held {
+		if _, ok := fa.held[k]; !ok {
+			held[k] = lockMaybe
+		}
+	}
+	defers := make(map[syncObj]deferAction, len(fa.defers)+len(fb.defers))
+	for k, va := range fa.defers {
+		if vb, ok := fb.defers[k]; ok && vb == va {
+			defers[k] = va
+		} else {
+			defers[k] = deferMixed
+		}
+	}
+	for k := range fb.defers {
+		if _, ok := fa.defers[k]; !ok {
+			defers[k] = deferMixed
+		}
+	}
+	return lockFacts{held: held, defers: defers}
+}
+
+func (lf *lockFlow) Equal(a, b any) bool {
+	fa, fb := a.(lockFacts), b.(lockFacts)
+	if len(fa.held) != len(fb.held) || len(fa.defers) != len(fb.defers) {
+		return false
+	}
+	for k, v := range fa.held {
+		if w, ok := fb.held[k]; !ok || w != v {
+			return false
+		}
+	}
+	for k, v := range fa.defers {
+		if w, ok := fb.defers[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockReporter reports one finding during replay; nil during fixpoint
+// iteration.
+type lockReporter func(pos token.Pos, format string, args ...any)
+
+// apply executes one CFG node against the lock facts. With a non-nil
+// reporter it also diagnoses; the state it returns is identical either way.
+func (lf *lockFlow) apply(n ast.Node, st lockFacts, report lockReporter) lockFacts {
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		if recv, typ, method, ok := syncMethodCall(lf.info, s.Call); ok && isLockType(typ) {
+			if key, ok := resolveSyncObj(lf.info, recv); ok {
+				switch method {
+				case "Unlock":
+					return st.withDefer(key, deferUnlock)
+				case "RUnlock":
+					return st.withDefer(key, deferRUnlock)
+				case "Lock", "RLock":
+					// defer mu.Lock() is almost certainly a typo'd unlock,
+					// but without knowing intent the safe move is to stop
+					// tracking this primitive's defers.
+					return st.withDefer(key, deferMixed)
+				}
+			}
+		}
+		return st
+	case *ast.ReturnStmt:
+		if report != nil {
+			lf.checkReturn(s.Return, st, report)
+		}
+		return st
+	case *ImplicitReturn:
+		if report != nil {
+			lf.checkReturn(s.Rbrace, st, report)
+		}
+		return st
+	}
+	InspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			st = lf.applyCall(call, st, report)
+		}
+		return true
+	})
+	return st
+}
+
+func (lf *lockFlow) applyCall(call *ast.CallExpr, st lockFacts, report lockReporter) lockFacts {
+	recv, typ, method, ok := syncMethodCall(lf.info, call)
+	if !ok || !isLockType(typ) {
+		return st
+	}
+	key, ok := resolveSyncObj(lf.info, recv)
+	if !ok {
+		return st
+	}
+	name := key.name()
+	prev, present := st.held[key]
+	switch method {
+	case "Lock":
+		if report != nil && present {
+			switch prev {
+			case lockHeld:
+				report(call.Pos(), "second Lock of %s while it is already held: self-deadlock", name)
+			case lockRHeld:
+				report(call.Pos(), "Lock of %s while it is read-locked: read-to-write upgrade deadlocks", name)
+			}
+		}
+		return st.withHeld(key, lockHeld)
+	case "RLock":
+		if report != nil && present {
+			switch prev {
+			case lockHeld:
+				report(call.Pos(), "RLock of %s while its write lock is held: self-deadlock", name)
+			case lockRHeld:
+				report(call.Pos(), "recursive RLock of %s: deadlocks once a writer queues between the two", name)
+			}
+		}
+		return st.withHeld(key, lockRHeld)
+	case "Unlock":
+		if report != nil {
+			if !present {
+				report(call.Pos(), "Unlock of %s which is not locked on any path to here", name)
+			} else if prev == lockRHeld {
+				report(call.Pos(), "Unlock of %s but it is read-locked: use RUnlock", name)
+			}
+		}
+		return st.withoutHeld(key)
+	case "RUnlock":
+		if report != nil {
+			if !present {
+				report(call.Pos(), "RUnlock of %s which is not read-locked on any path to here", name)
+			} else if prev == lockHeld {
+				report(call.Pos(), "RUnlock of %s but its write lock is held: use Unlock", name)
+			}
+		}
+		return st.withoutHeld(key)
+	case "TryLock", "TryRLock":
+		return st.withHeld(key, lockMaybe)
+	}
+	return st
+}
+
+// checkReturn applies the pending defers to the lock set and reports any
+// primitive still (or possibly still) held at this return.
+func (lf *lockFlow) checkReturn(pos token.Pos, st lockFacts, report lockReporter) {
+	eff := st
+	suppressed := map[syncObj]bool{}
+	for _, k := range sortedSyncObjs(st.defers) {
+		switch st.defers[k] {
+		case deferUnlock, deferRUnlock:
+			eff = eff.withoutHeld(k)
+		case deferMixed:
+			suppressed[k] = true // conditional defer: can't reason about it
+		}
+	}
+	for _, k := range sortedSyncObjs(eff.held) {
+		if suppressed[k] {
+			continue
+		}
+		switch eff.held[k] {
+		case lockHeld, lockRHeld:
+			report(pos, "%s is still locked at this return", k.name())
+		case lockMaybe:
+			report(pos, "%s may still be locked at this return (locked on some paths only)", k.name())
+		}
+	}
+}
+
+// checkLockDiscipline runs the lock-set dataflow over one function body.
+func checkLockDiscipline(p *Pass, file *ast.File, body *ast.BlockStmt) {
+	lf := &lockFlow{info: p.Info}
+	sol := Solve(NewCFG(body), lf)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !p.Annotated(file, pos, lockSafeDirective) {
+			p.Report(pos, format, args...)
+		}
+	}
+	sol.Replay(func(n ast.Node, before any) {
+		lf.apply(n, before.(lockFacts), report)
+	})
+}
+
+// ---- copylock checks ----
+
+// lockTypeNames are the sync types whose values must never be copied (they
+// all embed a noCopy or carry internal state that copying corrupts).
+var lockTypeNames = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+// isUncopyableSync reports whether t is a sync (or sync/atomic) type whose
+// values must not be copied, returning its display name.
+func isUncopyableSync(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		if lockTypeNames[obj.Name()] {
+			return "sync." + obj.Name(), true
+		}
+	case "sync/atomic":
+		return "atomic." + obj.Name(), true
+	}
+	return "", false
+}
+
+// typeCarriesLock reports whether a value of type t contains an uncopyable
+// sync primitive by value (struct fields and array elements recurse;
+// pointers, slices, maps, and channels reference rather than carry).
+func typeCarriesLock(t types.Type) (string, bool) {
+	return typeCarriesLock1(t, make(map[types.Type]bool))
+}
+
+func typeCarriesLock1(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if name, ok := isUncopyableSync(t); ok {
+		return name, true
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		return typeCarriesLock1(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := typeCarriesLock1(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return typeCarriesLock1(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// checkEmbeddedLocks flags anonymous sync primitive value fields: every
+// copy of the struct copies the lock, and the promoted Lock/Unlock methods
+// become part of the outer type's API.
+func checkEmbeddedLocks(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if len(fld.Names) != 0 {
+				continue // named field: carrying a lock by name is fine
+			}
+			if _, isPtr := fld.Type.(*ast.StarExpr); isPtr {
+				continue // pointer embed references, it does not carry
+			}
+			tv, ok := p.Info.Types[fld.Type]
+			if !ok {
+				continue
+			}
+			name, ok := isUncopyableSync(tv.Type)
+			if !ok {
+				continue
+			}
+			if p.Annotated(file, fld.Pos(), lockSafeDirective) {
+				continue
+			}
+			p.Report(fld.Pos(), "embedding %s: every struct copy copies the lock and its methods are promoted into the API; use a named field instead", name)
+		}
+		return true
+	})
+}
+
+// checkValueCarriers flags value receivers and by-value parameters whose
+// type carries a lock: the call copies the primitive.
+func checkValueCarriers(p *Pass, file *ast.File) {
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			if _, isPtr := fld.Type.(*ast.StarExpr); isPtr {
+				continue
+			}
+			tv, ok := p.Info.Types[fld.Type]
+			if !ok {
+				continue
+			}
+			name, ok := typeCarriesLock(tv.Type)
+			if !ok {
+				continue
+			}
+			if p.Annotated(file, fld.Pos(), lockSafeDirective) {
+				continue
+			}
+			p.Report(fld.Pos(), "%s copies a value carrying %s; pass a pointer instead", what, name)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			checkFields(fn.Recv, "value receiver")
+			checkFields(fn.Type.Params, "by-value parameter")
+		case *ast.FuncLit:
+			checkFields(fn.Type.Params, "by-value parameter")
+		}
+		return true
+	})
+}

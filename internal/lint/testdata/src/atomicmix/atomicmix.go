@@ -1,0 +1,57 @@
+// Package atomicmix exercises the atomicmix rule: a variable or field
+// accessed through sync/atomic anywhere in the package must never be read
+// or written plainly elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64        // accessed via sync/atomic below: tracked
+	cold  uint64        // never accessed atomically: free
+	typed atomic.Uint64 // typed atomics are immune by construction
+}
+
+// Inc and Load are the atomic sites: clean.
+func (c *counters) Inc()         { atomic.AddUint64(&c.hits, 1) }
+func (c *counters) Load() uint64 { return atomic.LoadUint64(&c.hits) }
+
+// Racy reads the tracked field plainly.
+func (c *counters) Racy() uint64 {
+	return c.hits // want "plain access to hits"
+}
+
+// RacyWrite writes it plainly.
+func (c *counters) RacyWrite() {
+	c.hits = 0 // want "plain access to hits"
+}
+
+// Cold only ever sees plain access: clean.
+func (c *counters) Cold() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// Typed uses the atomic.Uint64 API: clean.
+func (c *counters) Typed() uint64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// newCounters names the field in a composite literal, which declares
+// rather than accesses: clean.
+func newCounters() *counters {
+	return &counters{hits: 0}
+}
+
+// Snapshot reads after all writers joined; the annotation is the escape
+// hatch, so: clean.
+func (c *counters) Snapshot() uint64 {
+	return c.hits //bayesvet:atomicmix all workers joined before snapshotting
+}
+
+// Package-level variables are tracked the same way.
+var published uint64
+
+func publish()        { atomic.StoreUint64(&published, 1) }
+func peek() uint64    { return published } // want "plain access to published"
+func observe() uint64 { return atomic.LoadUint64(&published) }

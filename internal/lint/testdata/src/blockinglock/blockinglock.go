@@ -1,0 +1,112 @@
+// Package blockinglock exercises the blockinglock rule: no operation that
+// can block indefinitely — channel send/recv, WaitGroup.Wait, acquiring a
+// second lock — on a path where a mutex is definitely held.
+package blockinglock
+
+import "sync"
+
+type q struct {
+	mu    sync.Mutex
+	order sync.Mutex
+	wg    sync.WaitGroup
+	ch    chan int
+	n     int
+}
+
+// SendUnderLock parks on a channel while holding the lock.
+func (s *q) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// SendAfterUnlock releases first: clean.
+func (s *q) SendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// RecvUnderLock blocks on a receive with the deferred unlock still pending.
+func (s *q) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is held"
+}
+
+// RangeUnderLock blocks until the channel closes.
+func (s *q) RangeUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "ranging over a channel while s.mu is held"
+		s.n += v
+	}
+}
+
+// NonBlockingSelect cannot block (default clause): clean.
+func (s *q) NonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n += v
+	default:
+	}
+}
+
+// BlockingSelectUnderLock has no default, so it parks.
+func (s *q) BlockingSelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch: // want "channel receive while s.mu is held"
+		s.n += v
+	}
+}
+
+// WaitUnderLock parks on the pool while holding the lock.
+func (s *q) WaitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+	s.mu.Unlock()
+}
+
+// NestedLock acquires a second lock under the first: inversion risk.
+func (s *q) NestedLock() {
+	s.mu.Lock()
+	s.order.Lock() // want "acquiring s.order while s.mu is held"
+	s.n++
+	s.order.Unlock()
+	s.mu.Unlock()
+}
+
+// SequentialLocks never overlap: clean.
+func (s *q) SequentialLocks() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.order.Lock()
+	s.n++
+	s.order.Unlock()
+}
+
+// MaybeHeld only holds the lock on some paths, which the rule deliberately
+// ignores: clean.
+func (s *q) MaybeHeld(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.ch <- 1
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+// BufferedHandoff is a provably non-blocking send; the annotation is the
+// escape hatch, so: clean.
+func (s *q) BufferedHandoff(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //bayesvet:blockinglock ch is buffered and drained faster than filled
+}

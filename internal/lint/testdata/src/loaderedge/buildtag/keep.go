@@ -1,0 +1,7 @@
+// Package buildtag checks that the loader honors build constraints: the
+// sibling skip.go is excluded by its //go:build line and references a
+// symbol that does not exist, so merely parsing it would fail the load.
+package buildtag
+
+// Kept is the only declaration the loader should see.
+func Kept() int { return 1 }

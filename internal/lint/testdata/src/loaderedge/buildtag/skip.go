@@ -1,0 +1,7 @@
+//go:build bayesvet_never_set
+
+package buildtag
+
+// Excluded references an undeclared symbol; if the loader ever parses this
+// file, type-checking the package fails and the loader test catches it.
+func Excluded() int { return doesNotExistAnywhere() }

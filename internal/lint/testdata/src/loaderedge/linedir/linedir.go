@@ -1,0 +1,13 @@
+// Package linedir checks that diagnostic positions honor //line directives
+// the way generated code uses them: the maporder violation below must be
+// reported against the virtual file and line, not this file.
+package linedir
+
+//line virtual.gen.go:100
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

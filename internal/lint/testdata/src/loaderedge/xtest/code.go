@@ -1,0 +1,7 @@
+// Package xtest checks that the loader ignores _test.go siblings: the
+// sibling code_test.go declares a different package and does not
+// type-check, so including it would fail the load.
+package xtest
+
+// Exported is the only declaration the loader should see.
+func Exported() int { return 2 }

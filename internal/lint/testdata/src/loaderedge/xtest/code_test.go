@@ -1,0 +1,5 @@
+package xtest_test
+
+// TestOnly references an undeclared symbol; the loader must never load
+// _test.go files, so this is invisible to it.
+func TestOnly() int { return symbolThatDoesNotExist() }

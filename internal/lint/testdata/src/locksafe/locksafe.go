@@ -1,0 +1,157 @@
+// Package locksafe exercises the locksafe rule: the lock-set dataflow
+// (leaks, double locks, Unlock/RUnlock mismatches) and the copylock checks
+// (embedded locks, by-value receivers and parameters).
+package locksafe
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Good is the canonical disciplined shape: clean.
+func (s *S) Good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// GoodExplicit unlocks without defer: clean.
+func (s *S) GoodExplicit() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// LeakOnError forgets to unlock on the early-return path.
+func (s *S) LeakOnError(err error) error {
+	s.mu.Lock()
+	if err != nil {
+		return err // want "s.mu is still locked at this return"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// MaybeLeak locks on one path only and never unlocks.
+func (s *S) MaybeLeak(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.n++
+} // want "s.mu may still be locked at this return"
+
+// DoubleLock self-deadlocks.
+func (s *S) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "second Lock of s.mu"
+	s.mu.Unlock()
+}
+
+// UnlockWithoutLock releases a lock it never took.
+func (s *S) UnlockWithoutLock() {
+	s.mu.Unlock() // want "Unlock of s.mu which is not locked"
+}
+
+// Upgrade tries to write-lock while read-locked.
+func (s *S) Upgrade() int {
+	s.rw.RLock()
+	s.rw.Lock() // want "read-to-write upgrade"
+	defer s.rw.Unlock()
+	return s.n
+}
+
+// RecursiveRLock deadlocks once a writer queues between the two.
+func (s *S) RecursiveRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.RLock() // want "recursive RLock of s.rw"
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// WrongUnlock pairs RLock with Unlock.
+func (s *S) WrongUnlock() int {
+	s.rw.RLock()
+	n := s.n
+	s.rw.Unlock() // want "use RUnlock"
+	return n
+}
+
+// ConditionalWithDefer registers the unlock on the same path as the lock:
+// clean (the rule suppresses primitives whose defers are conditional).
+func (s *S) ConditionalWithDefer(c bool) {
+	if c {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+// BothBranchesUnlock releases on every path: clean.
+func (s *S) BothBranchesUnlock(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// LoopBody locks and unlocks per iteration: clean.
+func (s *S) LoopBody(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// Handoff intentionally returns with the lock held; the annotation is the
+// escape hatch, so: clean.
+func (s *S) Handoff() {
+	s.mu.Lock()
+	//bayesvet:locksafe caller unlocks via (*S).Release
+	return
+}
+
+// Embedded carries an anonymous lock: every copy copies it and Lock/Unlock
+// leak into the API.
+type Embedded struct {
+	sync.Mutex // want "embedding sync.Mutex"
+	n          int
+}
+
+// PtrEmbedded embeds by pointer, which references rather than carries:
+// clean.
+type PtrEmbedded struct {
+	*sync.Mutex
+	n int
+}
+
+// Named holds the lock as a named field: clean.
+type Named struct {
+	mu sync.Mutex
+	n  int
+}
+
+// snapshot has a value receiver on a lock-carrying type: the call copies
+// the mutex.
+func (n Named) snapshot() int { // want "value receiver copies a value carrying sync.Mutex"
+	return n.n
+}
+
+// grow takes a pointer receiver: clean.
+func (n *Named) grow() { n.n++ }
+
+// copiesParam receives a WaitGroup by value: the classic broken signature.
+func copiesParam(wg sync.WaitGroup) { // want "by-value parameter copies a value carrying sync.WaitGroup"
+	wg.Wait()
+}
+
+// ptrParam passes the WaitGroup by pointer: clean.
+func ptrParam(wg *sync.WaitGroup) {
+	wg.Wait()
+}

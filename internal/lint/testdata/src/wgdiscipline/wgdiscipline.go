@@ -1,0 +1,123 @@
+// Package wgdiscipline exercises the wgdiscipline rule: WaitGroup.Add must
+// run in the launching goroutine before the go statement it gates, and
+// Wait must not run while a lock is held.
+package wgdiscipline
+
+import "sync"
+
+type engine struct {
+	wg sync.WaitGroup
+	mu sync.Mutex
+	n  int
+}
+
+func (e *engine) worker() {
+	defer e.wg.Done()
+	e.n++
+}
+
+// Spawn is the disciplined pool shape: clean.
+func (e *engine) Spawn(workers int) {
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	e.wg.Wait()
+}
+
+// MissingAdd launches a Done-calling worker with no Add anywhere: Wait may
+// return before the goroutine runs.
+func (e *engine) MissingAdd() {
+	go e.worker() // want "no e.wg.Add precedes the go statement"
+	e.wg.Wait()
+}
+
+// ConditionalAdd only Adds on some paths to the launch.
+func (e *engine) ConditionalAdd(extra bool) {
+	if extra {
+		e.wg.Add(1)
+	}
+	go e.worker() // want "on only some paths"
+	e.wg.Wait()
+}
+
+// AddInsideGoroutine moves the Add into the goroutine, racing with Wait.
+// The launch itself is also un-gated at the go statement.
+func (e *engine) AddInsideGoroutine() {
+	go func() { // want "no e.wg.Add precedes the go statement"
+		e.wg.Add(1) // want "races with Wait"
+		defer e.wg.Done()
+		e.n++
+	}()
+	e.wg.Wait()
+}
+
+// SpawnLit gates a literal, with Done wrapped in a cleanup literal: clean.
+func (e *engine) SpawnLit() {
+	e.wg.Add(1)
+	go func() {
+		defer func() { e.wg.Done() }()
+		e.n++
+	}()
+	e.wg.Wait()
+}
+
+// SpawnParam passes the WaitGroup to a free function: the summary maps the
+// callee's parameter back to the caller's argument. Clean.
+func SpawnParam() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go signal(&wg)
+	wg.Wait()
+}
+
+func signal(wg *sync.WaitGroup) { wg.Done() }
+
+// MissingAddParam is the same launch without the Add.
+func MissingAddParam() {
+	var wg sync.WaitGroup
+	go signal(&wg) // want "no wg.Add precedes the go statement"
+	wg.Wait()
+}
+
+// LocalGroup is a goroutine managing its own WaitGroup: the inner group is
+// declared inside the literal, so the outer launch is not gated by it.
+// Clean.
+func LocalGroup(work []func()) {
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(len(work))
+		for _, f := range work {
+			f := f
+			go func() {
+				defer inner.Done()
+				f()
+			}()
+		}
+		inner.Wait()
+	}()
+}
+
+// WaitUnderLock parks on the pool while holding the lock its workers need.
+func (e *engine) WaitUnderLock() {
+	e.wg.Add(1)
+	go e.worker()
+	e.mu.Lock()
+	e.wg.Wait() // want "Wait while e.mu is held"
+	e.mu.Unlock()
+}
+
+// WaitAfterUnlock releases first: clean.
+func (e *engine) WaitAfterUnlock() {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Rebalance hands one worker to another group; the annotation is the
+// escape hatch, so: clean.
+func (e *engine) Rebalance(other *sync.WaitGroup) {
+	//bayesvet:wgdiscipline other.Add happens in the coordinator before Rebalance is called
+	go signal(other)
+}

@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGDiscipline enforces the sync.WaitGroup contract around goroutine
+// launches:
+//
+//   - Add must happen in the launching goroutine, before the `go`
+//     statement whose goroutine will call Done. Add inside the launched
+//     goroutine races with Wait: Wait can return before the goroutine is
+//     scheduled. The rule finds the WaitGroups a goroutine "gates" (calls
+//     Done on) by inspecting `go func(){...}` literals directly and, for
+//     `go e.worker()`-style launches, by a package-local one-hop summary of
+//     which WaitGroups each function calls Done on.
+//   - Wait must not be reachable while a mutex is held (workers that need
+//     the lock can never call Done: deadlock). This shares the locksafe
+//     lattice.
+//
+// Escape hatch: //bayesvet:wgdiscipline <reason>.
+var WGDiscipline = &Analyzer{
+	Name: "wgdiscipline",
+	Doc:  "WaitGroup.Add precedes the go it gates; no Wait under a lock",
+	Run:  runWGDiscipline,
+}
+
+const wgDirective = "bayesvet:wgdiscipline"
+
+func runWGDiscipline(p *Pass) {
+	summaries := collectDoneSummaries(p)
+	for _, file := range p.Files {
+		for _, fn := range funcBodies(file) {
+			checkWGFunction(p, file, fn.body, summaries)
+		}
+	}
+}
+
+// ---- package-local Done summaries ----
+
+// doneRef is one WaitGroup a function calls Done on, expressed relative to
+// the callee's signature so a caller can translate it into its own scope:
+// through the receiver (recv=true, path ".wg"), through a parameter
+// (param=i), or on a package-level WaitGroup (global).
+type doneRef struct {
+	recv   bool
+	param  int
+	path   string
+	global types.Object
+}
+
+// collectDoneSummaries maps every declared function in the package to the
+// WaitGroups it (or any literal it contains) calls Done on. One hop only:
+// Done reached through a further call is out of scope — fleet code keeps
+// Done next to the worker body, and a deeper summary would need a
+// package-wide call graph for marginal gain.
+func collectDoneSummaries(p *Pass) map[*types.Func][]doneRef {
+	summaries := make(map[*types.Func][]doneRef)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var refs []doneRef
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, typ, method, ok := syncMethodCall(p.Info, call)
+				if !ok || typ != "WaitGroup" || method != "Done" {
+					return true
+				}
+				key, ok := resolveSyncObj(p.Info, recv)
+				if !ok {
+					return true
+				}
+				if ref, ok := classifyRoot(p, fd, key); ok {
+					refs = append(refs, ref)
+				}
+				return true
+			})
+			if len(refs) > 0 {
+				summaries[fnObj] = refs
+			}
+		}
+	}
+	return summaries
+}
+
+// classifyRoot expresses key relative to fd's signature.
+func classifyRoot(p *Pass, fd *ast.FuncDecl, key syncObj) (doneRef, bool) {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if p.Info.Defs[fd.Recv.List[0].Names[0]] == key.root {
+			return doneRef{recv: true, path: key.path}, true
+		}
+	}
+	i := 0
+	for _, fld := range fd.Type.Params.List {
+		if len(fld.Names) == 0 {
+			i++ // unnamed parameter still occupies an argument slot
+			continue
+		}
+		for _, name := range fld.Names {
+			if p.Info.Defs[name] == key.root {
+				return doneRef{param: i, path: key.path}, true
+			}
+			i++
+		}
+	}
+	if key.root.Parent() == p.Types.Scope() {
+		return doneRef{param: -1, global: key.root, path: key.path}, true
+	}
+	return doneRef{}, false
+}
+
+// ---- Add-before-go dataflow ----
+
+// addTri is the per-WaitGroup lattice for "has Add run on this path".
+type addTri uint8
+
+const (
+	addNo    addTri = iota // absent from the map
+	addYes                 // Add executed on every path to here
+	addMaybe               // Add executed on some paths only
+)
+
+type wgFacts map[syncObj]addTri
+
+type wgFlow struct {
+	info *types.Info
+}
+
+func (wf *wgFlow) Entry() any { return wgFacts(nil) }
+
+func (wf *wgFlow) Transfer(n ast.Node, state any) any {
+	st := state.(wgFacts)
+	InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, typ, method, ok := syncMethodCall(wf.info, call)
+		if !ok || typ != "WaitGroup" || method != "Add" {
+			return true
+		}
+		key, ok := resolveSyncObj(wf.info, recv)
+		if !ok {
+			return true
+		}
+		next := make(wgFacts, len(st)+1)
+		for k, v := range st {
+			next[k] = v
+		}
+		next[key] = addYes
+		st = next
+		return true
+	})
+	return st
+}
+
+func (wf *wgFlow) Join(a, b any) any {
+	fa, fb := a.(wgFacts), b.(wgFacts)
+	out := make(wgFacts, len(fa)+len(fb))
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok && vb == va {
+			out[k] = va
+		} else {
+			out[k] = addMaybe
+		}
+	}
+	for k := range fb {
+		if _, ok := fa[k]; !ok {
+			out[k] = addMaybe
+		}
+	}
+	return out
+}
+
+func (wf *wgFlow) Equal(a, b any) bool {
+	fa, fb := a.(wgFacts), b.(wgFacts)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if w, ok := fb[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkWGFunction runs both analyses over one function body: the
+// Add-before-go dataflow and the Wait-under-lock check (which reuses the
+// locksafe lattice).
+func checkWGFunction(p *Pass, file *ast.File, body *ast.BlockStmt, summaries map[*types.Func][]doneRef) {
+	cfg := NewCFG(body)
+	report := func(pos ast.Node, format string, args ...any) {
+		if !p.Annotated(file, pos.Pos(), wgDirective) {
+			p.Report(pos.Pos(), format, args...)
+		}
+	}
+
+	wf := &wgFlow{info: p.Info}
+	Solve(cfg, wf).Replay(func(n ast.Node, before any) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		st := before.(wgFacts)
+		for _, key := range sortedSyncObjs(gatedWaitGroups(p, gs, summaries)) {
+			switch st[key] {
+			case addYes:
+				// disciplined
+			case addMaybe:
+				report(gs, "%s.Done runs in this goroutine but %s.Add precedes the go statement on only some paths", key.name(), key.name())
+			case addNo:
+				report(gs, "%s.Done runs in this goroutine but no %s.Add precedes the go statement", key.name(), key.name())
+			}
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			reportAddInsideGoroutine(p, file, lit, report)
+		}
+	})
+
+	lf := &lockFlow{info: p.Info}
+	Solve(cfg, lf).Replay(func(n ast.Node, before any) {
+		st := before.(lockFacts)
+		if !anyDefinitelyHeld(st) {
+			return
+		}
+		InspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, typ, method, ok := syncMethodCall(p.Info, call)
+			if ok && typ == "WaitGroup" && method == "Wait" {
+				report(call, "WaitGroup.Wait while %s is held: a worker that needs the lock can never call Done", heldNames(st))
+			}
+			return true
+		})
+	})
+}
+
+// gatedWaitGroups resolves which WaitGroups the goroutine launched by gs
+// will call Done on, as syncObjs in the launching function's scope.
+func gatedWaitGroups(p *Pass, gs *ast.GoStmt, summaries map[*types.Func][]doneRef) map[syncObj]bool {
+	keys := make(map[syncObj]bool)
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		// Done anywhere inside the literal (including nested cleanup
+		// literals) gates this go statement — but only for WaitGroups
+		// declared outside the literal; a WaitGroup local to the goroutine
+		// is its own business.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, typ, method, ok := syncMethodCall(p.Info, call)
+			if !ok || typ != "WaitGroup" || method != "Done" {
+				return true
+			}
+			key, ok := resolveSyncObj(p.Info, recv)
+			if ok && !declaredWithin(key.root, fun) {
+				keys[key] = true
+			}
+			return true
+		})
+	default:
+		callee := calleeFunc(p.Info, gs.Call)
+		if callee == nil {
+			return keys
+		}
+		for _, ref := range summaries[callee] {
+			if key, ok := callerSideKey(p, gs.Call, ref); ok {
+				keys[key] = true
+			}
+		}
+	}
+	return keys
+}
+
+// reportAddInsideGoroutine flags wg.Add calls placed inside a launched
+// goroutine for a WaitGroup declared outside it. Only the literal's own
+// statements are inspected — a nested `go` has its own launch site and is
+// checked there.
+func reportAddInsideGoroutine(p *Pass, file *ast.File, lit *ast.FuncLit, report func(ast.Node, string, ...any)) {
+	InspectShallow(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, typ, method, ok := syncMethodCall(p.Info, call)
+		if !ok || typ != "WaitGroup" || method != "Add" {
+			return true
+		}
+		key, ok := resolveSyncObj(p.Info, recv)
+		if ok && !declaredWithin(key.root, lit) {
+			report(call, "%s.Add inside the launched goroutine races with Wait: Add in the launching goroutine, before the go statement", key.name())
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// calleeFunc resolves a call's static callee, if it is a declared function
+// or method of this package.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callerSideKey translates a callee-relative doneRef into the caller's
+// scope using the call's receiver/argument expressions.
+func callerSideKey(p *Pass, call *ast.CallExpr, ref doneRef) (syncObj, bool) {
+	if ref.global != nil {
+		return syncObj{root: ref.global, path: ref.path}, true
+	}
+	var base ast.Expr
+	if ref.recv {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return syncObj{}, false
+		}
+		base = sel.X
+	} else {
+		if ref.param >= len(call.Args) {
+			return syncObj{}, false
+		}
+		base = call.Args[ref.param]
+	}
+	key, ok := resolveSyncObj(p.Info, base)
+	if !ok {
+		return syncObj{}, false
+	}
+	key.path += ref.path
+	return key, true
+}
+
+// anyDefinitelyHeld reports whether some lock is held on every path.
+func anyDefinitelyHeld(st lockFacts) bool {
+	for _, v := range st.held {
+		if v == lockHeld || v == lockRHeld {
+			return true
+		}
+	}
+	return false
+}
+
+// heldNames renders the definitely-held locks for a diagnostic.
+func heldNames(st lockFacts) string {
+	names := ""
+	for _, k := range sortedSyncObjs(st.held) {
+		if v := st.held[k]; v != lockHeld && v != lockRHeld {
+			continue
+		}
+		if names != "" {
+			names += ", "
+		}
+		names += k.name()
+	}
+	return names
+}

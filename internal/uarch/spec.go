@@ -294,8 +294,8 @@ func (s Spec) clone() Spec {
 // concurrent use; specs are deep-copied on the way in and out, so mutating
 // a registered or looked-up spec never corrupts the registry.
 var registry = struct {
-	sync.RWMutex
-	m map[string]Spec
+	mu sync.RWMutex
+	m  map[string]Spec
 }{m: make(map[string]Spec)}
 
 // Register adds a named spec to the registry. Names must be unique and the
@@ -307,8 +307,8 @@ func Register(name string, s Spec) error {
 	if _, err := s.Catalog(); err != nil {
 		return fmt.Errorf("uarch: Register(%q): %w", name, err)
 	}
-	registry.Lock()
-	defer registry.Unlock()
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
 	if _, dup := registry.m[name]; dup {
 		return fmt.Errorf("uarch: Register(%q): name already registered", name)
 	}
@@ -326,8 +326,8 @@ func MustRegister(name string, s Spec) {
 // Lookup returns the named spec (a private copy — mutating it does not
 // affect the registry).
 func Lookup(name string) (Spec, bool) {
-	registry.RLock()
-	defer registry.RUnlock()
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
 	s, ok := registry.m[name]
 	if !ok {
 		return Spec{}, false
@@ -337,8 +337,8 @@ func Lookup(name string) (Spec, bool) {
 
 // Names returns every registered catalog name, sorted.
 func Names() []string {
-	registry.RLock()
-	defer registry.RUnlock()
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
 	out := make([]string, 0, len(registry.m))
 	for name := range registry.m {
 		out = append(out, name)

@@ -5,9 +5,11 @@ package uarch_test
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"bayesperf/internal/graph"
@@ -364,4 +366,36 @@ func TestValidateModelsErrorIsDeterministic(t *testing.T) {
 			t.Fatalf("error message is nondeterministic:\n%v\n%v", first, err)
 		}
 	}
+}
+
+// TestRegistryConcurrentAccess is the regression test for the registry's
+// locking: it used to embed sync.RWMutex in the (copyable) registry struct,
+// which bayesvet's locksafe copylock check now forbids — the lock is a
+// named field. Hammering Register/Lookup/Names concurrently keeps the
+// discipline honest under -race.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	base, ok := uarch.Lookup("skylake")
+	if !ok {
+		t.Fatal("Lookup(skylake) failed")
+	}
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("concurrent-%d", i)
+			if err := uarch.Register(name, base); err != nil {
+				t.Errorf("Register(%s): %v", name, err)
+			}
+			for j := 0; j < 50; j++ {
+				if _, ok := uarch.Lookup(name); !ok {
+					t.Errorf("Lookup(%s) lost a registered spec", name)
+					return
+				}
+				uarch.Names()
+			}
+		}()
+	}
+	wg.Wait()
 }
